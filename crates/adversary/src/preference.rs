@@ -1,0 +1,176 @@
+//! Preference-targeting adversaries for SynRan-family protocols.
+
+use synran_core::SynRanProcess;
+use synran_sim::{Adversary, Bit, Intervention, ProcessId, World};
+
+/// Kills up to `per_round` alive processes whose current preference is
+/// `target` — full information put to its most direct use.
+///
+/// Killing 1-preferrers drags the visible vote toward 0; killing
+/// 0-preferrers drags it toward 1 (and, against the paper's one-sided coin
+/// rule, *helps* the protocol converge — which is the point of the rule).
+/// These are the reference probes the valency estimator uses for
+/// `min r(α)` / `max r(α)`.
+///
+/// # Examples
+///
+/// ```
+/// use synran_adversary::PreferenceKiller;
+/// use synran_core::{check_consensus, SynRan};
+/// use synran_sim::{Bit, SimConfig};
+///
+/// let inputs: Vec<Bit> = (0..10).map(|i| Bit::from(i < 5)).collect();
+/// let verdict = check_consensus(
+///     &SynRan::new(),
+///     &inputs,
+///     SimConfig::new(10).faults(5).seed(2),
+///     &mut PreferenceKiller::new(Bit::One, 2),
+/// )?;
+/// assert!(verdict.is_correct());
+/// # Ok::<(), synran_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreferenceKiller {
+    target: Bit,
+    per_round: usize,
+}
+
+impl PreferenceKiller {
+    /// Creates a killer of processes preferring `target`, up to
+    /// `per_round` victims per round.
+    #[must_use]
+    pub fn new(target: Bit, per_round: usize) -> PreferenceKiller {
+        PreferenceKiller { target, per_round }
+    }
+
+    /// The targeted preference.
+    #[must_use]
+    pub fn target(&self) -> Bit {
+        self.target
+    }
+}
+
+impl Adversary<SynRanProcess> for PreferenceKiller {
+    fn intervene(&mut self, world: &World<SynRanProcess>) -> Intervention {
+        let alive = world.alive_count();
+        // Keep a survivor; a wiped-out system trivially "agrees".
+        let k = self
+            .per_round
+            .min(world.budget().remaining())
+            .min(alive.saturating_sub(1));
+        if k == 0 {
+            return Intervention::none();
+        }
+        let victims: Vec<ProcessId> = world
+            .alive_ids()
+            .filter(|&pid| world.process(pid).preference() == self.target)
+            .take(k)
+            .collect();
+        Intervention::kill_all_silent(victims)
+    }
+
+    fn name(&self) -> &str {
+        match self.target {
+            Bit::Zero => "kill-zeros",
+            Bit::One => "kill-ones",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synran_core::{check_consensus, SynRan};
+    use synran_sim::SimConfig;
+
+    fn split_inputs(n: usize, ones: usize) -> Vec<Bit> {
+        (0..n).map(|i| Bit::from(i < ones)).collect()
+    }
+
+    #[test]
+    fn killing_all_ones_forces_zero() {
+        // With enough per-round firepower to erase every 1-vote at once,
+        // everyone sees O = 0 < 4·N/10 and decides 0.
+        let runs = 20;
+        for seed in 0..runs {
+            let n = 20;
+            let verdict = check_consensus(
+                &SynRan::new(),
+                &split_inputs(n, n / 2),
+                SimConfig::new(n).faults(n - 1).seed(seed),
+                &mut PreferenceKiller::new(Bit::One, n),
+            )
+            .unwrap();
+            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert_eq!(
+                verdict.report().unanimous_decision(),
+                Some(Bit::Zero),
+                "seed {seed}: killing every 1-preferrer must force 0"
+            );
+        }
+    }
+
+    #[test]
+    fn killing_all_zeros_feeds_the_one_sided_rule() {
+        // Erasing every visible 0 triggers `Z = 0 → 1`: the protocol
+        // converges to 1 — the paper's point about one-sided bias.
+        let runs = 20;
+        for seed in 100..100 + runs {
+            let n = 20;
+            let verdict = check_consensus(
+                &SynRan::new(),
+                &split_inputs(n, n / 2),
+                SimConfig::new(n).faults(n - 1).seed(seed),
+                &mut PreferenceKiller::new(Bit::Zero, n),
+            )
+            .unwrap();
+            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert_eq!(
+                verdict.report().unanimous_decision(),
+                Some(Bit::One),
+                "seed {seed}: killing every 0-preferrer must force 1"
+            );
+        }
+    }
+
+    #[test]
+    fn trickle_killing_barely_biases() {
+        // A rate-limited preference killer cannot outpace the coin flips
+        // that replenish the targeted side: runs still terminate correctly.
+        for seed in 0..10 {
+            let n = 20;
+            let verdict = check_consensus(
+                &SynRan::new(),
+                &split_inputs(n, n / 2),
+                SimConfig::new(n).faults(n / 2).seed(seed),
+                &mut PreferenceKiller::new(Bit::Zero, 2),
+            )
+            .unwrap();
+            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+        }
+    }
+
+    #[test]
+    fn respects_budget_and_leaves_survivor() {
+        let n = 8;
+        let verdict = check_consensus(
+            &SynRan::new(),
+            &split_inputs(n, n),
+            SimConfig::new(n).faults(n).seed(7),
+            &mut PreferenceKiller::new(Bit::One, n),
+        )
+        .unwrap();
+        assert!(verdict.report().non_faulty().count() >= 1);
+        assert!(verdict.is_correct(), "{:?}", verdict.violations());
+    }
+
+    #[test]
+    fn name_reflects_target() {
+        let k = PreferenceKiller::new(Bit::Zero, 1);
+        assert_eq!(
+            Adversary::<SynRanProcess>::name(&k),
+            "kill-zeros"
+        );
+        assert_eq!(k.target(), Bit::Zero);
+    }
+}

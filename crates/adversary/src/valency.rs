@@ -1,0 +1,429 @@
+//! Probabilistic valency: the classification engine of the lower bound.
+//!
+//! §3.2 of the paper classifies an execution state `α_k` by the range of
+//! probabilities `r(α_k) = { Pr[decide 1 | α_k, b] : b ∈ B }` over the
+//! adversary family `B` (those failing at most `4√(n·log n)+1` processes
+//! per round):
+//!
+//! | class | `min r(α_k)` | `max r(α_k)` |
+//! |---|---|---|
+//! | bivalent    | `< 1/√n − k/n` | `> 1 − 1/√n + k/n` |
+//! | 0-valent    | `< 1/√n − k/n` | `≤ 1 − 1/√n + k/n` |
+//! | 1-valent    | `≥ 1/√n − k/n` | `> 1 − 1/√n + k/n` |
+//! | null-valent | `≥ 1/√n − k/n` | `≤ 1 − 1/√n + k/n` |
+//!
+//! The paper's adversary is computationally unbounded and knows these
+//! quantities exactly. Operationally we *estimate* them: fork the paused
+//! world many times, resume each fork under a small family of reference
+//! adversaries (probes), and read off the empirical min/max of
+//! `Pr[decide 1]`. The estimator is exactly as strong as its probe family —
+//! see DESIGN.md's substitution table.
+
+use std::fmt;
+
+use synran_core::SynRanProcess;
+use synran_sim::{Adversary, Bit, Passive, Process, SimError, SimRng, World};
+
+use crate::{Balancer, PreferenceKiller, RandomKiller};
+
+/// A boxed, dynamically-dispatched adversary.
+pub type BoxedAdversary<P> = Box<dyn Adversary<P>>;
+
+/// A named factory producing fresh probe adversaries per fork seed.
+type ProbeFactory<P> = (String, Box<dyn Fn(u64) -> BoxedAdversary<P>>);
+
+/// A family of reference adversaries used as probes for `min`/`max`
+/// `Pr[decide 1]`.
+///
+/// Each probe is a named factory taking a seed, so stateful adversaries
+/// start fresh per fork.
+pub struct ProbeSet<P: Process> {
+    factories: Vec<ProbeFactory<P>>,
+}
+
+impl<P: Process> fmt::Debug for ProbeSet<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeSet")
+            .field(
+                "probes",
+                &self
+                    .factories
+                    .iter()
+                    .map(|(name, _)| name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<P: Process> ProbeSet<P> {
+    /// An empty probe set to build on.
+    #[must_use]
+    pub fn new() -> ProbeSet<P> {
+        ProbeSet {
+            factories: Vec::new(),
+        }
+    }
+
+    /// Adds a named probe.
+    #[must_use]
+    pub fn with_probe(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn(u64) -> BoxedAdversary<P> + 'static,
+    ) -> ProbeSet<P> {
+        self.factories.push((name.into(), Box::new(factory)));
+        self
+    }
+
+    /// Number of probes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// `true` if no probe was added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+
+    /// Protocol-agnostic probes: passive continuation plus a random killer
+    /// spending `per_round` kills per round.
+    #[must_use]
+    pub fn generic(per_round: usize) -> ProbeSet<P> {
+        ProbeSet::new()
+            .with_probe("passive", |_| Box::new(Passive))
+            .with_probe("random", move |seed| {
+                Box::new(RandomKiller::new(per_round, seed))
+            })
+    }
+}
+
+impl<P: Process> Default for ProbeSet<P> {
+    fn default() -> ProbeSet<P> {
+        ProbeSet::new()
+    }
+}
+
+impl ProbeSet<SynRanProcess> {
+    /// The standard probe family for SynRan-family protocols: passive,
+    /// kill-the-ones (drives `min Pr[1]`), kill-the-zeros (drives
+    /// `max Pr[1]`), and the coin-band balancer (keeps both open).
+    #[must_use]
+    pub fn synran(per_round: usize) -> ProbeSet<SynRanProcess> {
+        ProbeSet::new()
+            .with_probe("passive", |_| Box::new(Passive))
+            .with_probe("kill-ones", move |_| {
+                Box::new(PreferenceKiller::new(Bit::One, per_round))
+            })
+            .with_probe("kill-zeros", move |_| {
+                Box::new(PreferenceKiller::new(Bit::Zero, per_round))
+            })
+            .with_probe("balancer", move |_| Box::new(Balancer::with_cap(per_round)))
+    }
+}
+
+/// The empirical estimate of `min`/`max Pr[decide 1]` from a state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValencyEstimate {
+    min_p1: f64,
+    max_p1: f64,
+    per_probe: Vec<(String, f64)>,
+    samples_per_probe: usize,
+    undecided: usize,
+}
+
+impl ValencyEstimate {
+    /// The smallest `Pr[decide 1]` over the probe family — the estimate of
+    /// `min r(α)`.
+    #[must_use]
+    pub fn min_p1(&self) -> f64 {
+        self.min_p1
+    }
+
+    /// The largest `Pr[decide 1]` over the probe family — the estimate of
+    /// `max r(α)`.
+    #[must_use]
+    pub fn max_p1(&self) -> f64 {
+        self.max_p1
+    }
+
+    /// Per-probe `Pr[decide 1]`, in probe order.
+    #[must_use]
+    pub fn per_probe(&self) -> &[(String, f64)] {
+        &self.per_probe
+    }
+
+    /// Forks per probe.
+    #[must_use]
+    pub fn samples_per_probe(&self) -> usize {
+        self.samples_per_probe
+    }
+
+    /// Forks that did not decide within the horizon (scored as ½).
+    #[must_use]
+    pub fn undecided(&self) -> usize {
+        self.undecided
+    }
+
+    /// How far the state is from univalence: `min(1 − min_p1, max_p1)`.
+    ///
+    /// Near 1 for bivalent states (either decision still reachable), near
+    /// 0 for univalent ones. The lower-bound adversary maximises this.
+    #[must_use]
+    pub fn uncertainty(&self) -> f64 {
+        (1.0 - self.min_p1).min(self.max_p1)
+    }
+}
+
+/// The paper's four-way state classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Valence {
+    /// Both decisions reachable with substantial probability.
+    Bivalent,
+    /// Only 0 remains substantially reachable.
+    ZeroValent,
+    /// Only 1 remains substantially reachable.
+    OneValent,
+    /// Neither decision can be forced nor excluded.
+    NullValent,
+}
+
+impl Valence {
+    /// `true` for 0-valent or 1-valent.
+    #[must_use]
+    pub fn is_univalent(self) -> bool {
+        matches!(self, Valence::ZeroValent | Valence::OneValent)
+    }
+}
+
+impl fmt::Display for Valence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Valence::Bivalent => "bivalent",
+            Valence::ZeroValent => "0-valent",
+            Valence::OneValent => "1-valent",
+            Valence::NullValent => "null-valent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies an estimate with the paper's §3.2 thresholds for system size
+/// `n` at round `k`: `lo = 1/√n − k/n`, `hi = 1 − 1/√n + k/n`.
+#[must_use]
+pub fn classify(estimate: &ValencyEstimate, n: usize, k: u32) -> Valence {
+    let nf = n as f64;
+    let lo = 1.0 / nf.sqrt() - f64::from(k) / nf;
+    let hi = 1.0 - 1.0 / nf.sqrt() + f64::from(k) / nf;
+    classify_with(estimate, lo, hi)
+}
+
+/// Classifies with explicit thresholds (exposed for experiments that study
+/// the thresholds themselves).
+#[must_use]
+pub fn classify_with(estimate: &ValencyEstimate, lo: f64, hi: f64) -> Valence {
+    match (estimate.min_p1 < lo, estimate.max_p1 > hi) {
+        (true, true) => Valence::Bivalent,
+        (true, false) => Valence::ZeroValent,
+        (false, true) => Valence::OneValent,
+        (false, false) => Valence::NullValent,
+    }
+}
+
+/// Estimates `min`/`max Pr[decide 1]` from the current state of `world` by
+/// forking it `samples` times per probe and resuming each fork (bounded to
+/// `horizon` further rounds) under that probe.
+///
+/// Forks that exceed the horizon count as undecided and contribute ½ —
+/// they genuinely are "still open" states.
+///
+/// # Errors
+///
+/// Propagates engine errors other than the horizon being reached.
+///
+/// # Panics
+///
+/// Panics if `probes` is empty or `samples` is zero.
+pub fn estimate_valency<P>(
+    world: &World<P>,
+    probes: &ProbeSet<P>,
+    samples: usize,
+    horizon: u32,
+    seed: u64,
+) -> Result<ValencyEstimate, SimError>
+where
+    P: Process + Clone,
+{
+    assert!(!probes.is_empty(), "need at least one probe");
+    assert!(samples > 0, "need at least one sample per probe");
+    let mut per_probe = Vec::with_capacity(probes.len());
+    let mut undecided_total = 0usize;
+    let seeder = SimRng::new(seed);
+    for (idx, (name, factory)) in probes.factories.iter().enumerate() {
+        let mut sum = 0.0;
+        for s in 0..samples {
+            let fork_seed = seeder
+                .derive(idx as u64)
+                .derive(s as u64)
+                .next_u64();
+            let mut fork = world.fork_bounded(fork_seed, horizon);
+            let mut adversary = factory(fork_seed);
+            match fork.run(&mut adversary) {
+                Ok(report) => {
+                    sum += match first_decision(&report) {
+                        Some(Bit::One) => 1.0,
+                        Some(Bit::Zero) => 0.0,
+                        None => {
+                            undecided_total += 1;
+                            0.5
+                        }
+                    };
+                }
+                Err(SimError::MaxRoundsExceeded { .. }) => {
+                    undecided_total += 1;
+                    sum += 0.5;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        per_probe.push((name.clone(), sum / samples as f64));
+    }
+    let min_p1 = per_probe
+        .iter()
+        .map(|&(_, p)| p)
+        .fold(f64::INFINITY, f64::min);
+    let max_p1 = per_probe
+        .iter()
+        .map(|&(_, p)| p)
+        .fold(f64::NEG_INFINITY, f64::max);
+    Ok(ValencyEstimate {
+        min_p1,
+        max_p1,
+        per_probe,
+        samples_per_probe: samples,
+        undecided: undecided_total,
+    })
+}
+
+fn first_decision(report: &synran_sim::RunReport) -> Option<Bit> {
+    report
+        .non_faulty()
+        .find_map(|pid| report.decision_of(pid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synran_core::{ConsensusProtocol, SynRan};
+    use synran_sim::{Bit, SimConfig};
+
+    fn world_with_inputs(n: usize, t: usize, ones: usize, seed: u64) -> World<SynRanProcess> {
+        let protocol = SynRan::new();
+        World::new(SimConfig::new(n).faults(t).seed(seed).max_rounds(5_000), |pid| {
+            protocol.spawn(pid, n, Bit::from(pid.index() < ones))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn unanimous_one_state_estimates_one_valent() {
+        let world = world_with_inputs(12, 4, 12, 1);
+        let probes = ProbeSet::synran(3);
+        let est = estimate_valency(&world, &probes, 6, 50, 42).unwrap();
+        // Validity pins the decision to 1 whatever the (fail-stop) probe.
+        assert_eq!(est.min_p1(), 1.0, "{est:?}");
+        assert_eq!(est.max_p1(), 1.0);
+        assert!(est.uncertainty() < 0.01);
+        assert_eq!(classify_with(&est, 0.2, 0.8), Valence::OneValent);
+    }
+
+    #[test]
+    fn unanimous_zero_state_estimates_zero_valent() {
+        let world = world_with_inputs(12, 4, 0, 2);
+        let probes = ProbeSet::synran(3);
+        let est = estimate_valency(&world, &probes, 6, 50, 43).unwrap();
+        assert_eq!(est.max_p1(), 0.0, "{est:?}");
+        assert_eq!(classify_with(&est, 0.2, 0.8), Valence::ZeroValent);
+    }
+
+    #[test]
+    fn split_state_is_open() {
+        // Probes strong enough to clear one whole side per round (cap = 8)
+        // make both outcomes reachable from an even 8/8 split.
+        let world = world_with_inputs(16, 8, 8, 3);
+        let probes = ProbeSet::synran(8);
+        let est = estimate_valency(&world, &probes, 10, 100, 44).unwrap();
+        // With kill-ones and kill-zeros probes available, both outcomes
+        // must be reachable from an even split.
+        assert!(est.min_p1() < 0.5, "min {}", est.min_p1());
+        assert!(est.max_p1() > 0.5, "max {}", est.max_p1());
+        assert!(est.uncertainty() > 0.3, "{est:?}");
+        assert_eq!(classify_with(&est, 0.45, 0.55), Valence::Bivalent);
+    }
+
+    #[test]
+    fn classification_table_is_exhaustive() {
+        let mk = |min_p1: f64, max_p1: f64| ValencyEstimate {
+            min_p1,
+            max_p1,
+            per_probe: vec![],
+            samples_per_probe: 1,
+            undecided: 0,
+        };
+        assert_eq!(classify_with(&mk(0.0, 1.0), 0.1, 0.9), Valence::Bivalent);
+        assert_eq!(classify_with(&mk(0.0, 0.5), 0.1, 0.9), Valence::ZeroValent);
+        assert_eq!(classify_with(&mk(0.5, 1.0), 0.1, 0.9), Valence::OneValent);
+        assert_eq!(classify_with(&mk(0.5, 0.5), 0.1, 0.9), Valence::NullValent);
+        assert!(Valence::ZeroValent.is_univalent());
+        assert!(Valence::OneValent.is_univalent());
+        assert!(!Valence::Bivalent.is_univalent());
+        assert!(!Valence::NullValent.is_univalent());
+    }
+
+    #[test]
+    fn paper_thresholds_shrink_with_round() {
+        let mk = |min_p1: f64, max_p1: f64| ValencyEstimate {
+            min_p1,
+            max_p1,
+            per_probe: vec![],
+            samples_per_probe: 1,
+            undecided: 0,
+        };
+        // At round k = 0 with n = 100: lo = 0.1; a min of 0.05 is "0 still
+        // reachable". By round k = 10, lo = 0.1 − 0.1 = 0 and nothing is
+        // below it: the classification tightens exactly as in §3.2.
+        let est = mk(0.05, 0.5);
+        assert_eq!(classify(&est, 100, 0), Valence::ZeroValent);
+        assert_eq!(classify(&est, 100, 10), Valence::NullValent);
+    }
+
+    #[test]
+    fn estimator_is_deterministic_per_seed() {
+        let world = world_with_inputs(10, 5, 5, 7);
+        let probes = ProbeSet::synran(2);
+        let a = estimate_valency(&world, &probes, 5, 60, 9).unwrap();
+        let b = estimate_valency(&world, &probes, 5, 60, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_set_builders() {
+        let generic: ProbeSet<SynRanProcess> = ProbeSet::generic(2);
+        assert_eq!(generic.len(), 2);
+        let syn = ProbeSet::synran(2);
+        assert_eq!(syn.len(), 4);
+        assert!(!syn.is_empty());
+        assert!(ProbeSet::<SynRanProcess>::new().is_empty());
+        let dbg = format!("{syn:?}");
+        assert!(dbg.contains("kill-ones") && dbg.contains("balancer"), "{dbg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn empty_probe_set_rejected() {
+        let world = world_with_inputs(4, 0, 2, 0);
+        let _ = estimate_valency(&world, &ProbeSet::new(), 1, 10, 0);
+    }
+}

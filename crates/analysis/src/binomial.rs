@@ -1,0 +1,269 @@
+//! Exact binomial distributions and the paper's large-deviation bound.
+//!
+//! Lemma 4.4 gives a *non-asymptotic lower* bound on the upper tail of a
+//! fair-coin sum: for `x ~ Binomial(n, ½)` and `t < √n/8`,
+//!
+//! ```text
+//! Pr(x − E(x) ≥ t·√n) ≥ e^{−4(t+1)²} / √(2π)
+//! ```
+//!
+//! and Corollary 4.5 instantiates `t = √(log n)/8` to get
+//! `Pr(x − E(x) ≥ √(n·log n)/8) ≥ √(log n / n)`. This module provides the
+//! bounds in closed form plus exact binomial tails (log-space, stable up to
+//! very large `n`) so experiment E6 can verify the inequality numerically.
+
+use std::f64::consts::PI;
+
+/// An exact binomial distribution `Binomial(n, p)` with precomputed
+/// log-factorials.
+///
+/// # Examples
+///
+/// ```
+/// use synran_analysis::Binomial;
+///
+/// let b = Binomial::fair(10);
+/// assert!((b.pmf(5) - 0.24609375).abs() < 1e-12);
+/// assert!((b.upper_tail(0) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binomial {
+    n: usize,
+    p: f64,
+    ln_fact: Vec<f64>,
+}
+
+impl Binomial {
+    /// Creates `Binomial(n, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(n: usize, p: f64) -> Binomial {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let mut ln_fact = Vec::with_capacity(n + 1);
+        ln_fact.push(0.0);
+        for k in 1..=n {
+            let prev = *ln_fact.last().expect("non-empty");
+            ln_fact.push(prev + (k as f64).ln());
+        }
+        Binomial { n, p, ln_fact }
+    }
+
+    /// A fair-coin binomial `Binomial(n, ½)` — the paper's coin game.
+    #[must_use]
+    pub fn fair(n: usize) -> Binomial {
+        Binomial::new(n, 0.5)
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The mean `n·p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// The variance `n·p·(1−p)`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// `ln C(n, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    #[must_use]
+    pub fn ln_choose(&self, k: usize) -> f64 {
+        assert!(k <= self.n, "k must be at most n");
+        self.ln_fact[self.n] - self.ln_fact[k] - self.ln_fact[self.n - k]
+    }
+
+    /// `ln Pr(X = k)`.
+    #[must_use]
+    pub fn ln_pmf(&self, k: usize) -> f64 {
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        self.ln_choose(k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// `Pr(X = k)`.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `Pr(X ≤ k)`.
+    #[must_use]
+    pub fn cdf(&self, k: usize) -> f64 {
+        let k = k.min(self.n);
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// `Pr(X ≥ k)`.
+    #[must_use]
+    pub fn upper_tail(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        (k..=self.n).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// `Pr(X − E(X) ≥ d)` for a real deviation `d` — the quantity
+    /// Lemma 4.4 bounds from below.
+    #[must_use]
+    pub fn deviation_tail(&self, d: f64) -> f64 {
+        let k = (self.mean() + d).ceil().max(0.0) as usize;
+        self.upper_tail(k)
+    }
+}
+
+/// Lemma 4.4's lower bound: `e^{−4(t+1)²} / √(2π)`, valid for
+/// `x ~ Binomial(n, ½)` deviations of `t·√n` with `t < √n/8`.
+#[must_use]
+pub fn lemma_4_4_bound(t: f64) -> f64 {
+    (-4.0 * (t + 1.0) * (t + 1.0)).exp() / (2.0 * PI).sqrt()
+}
+
+/// Corollary 4.5's instantiation: with `t = √(ln n)/8`, a deviation of
+/// `√(n·ln n)/8` has probability at least `√(ln n / n)`.
+///
+/// Returns `(deviation, probability_bound)`.
+#[must_use]
+pub fn corollary_4_5(n: usize) -> (f64, f64) {
+    let nf = n as f64;
+    let ln_n = nf.ln().max(f64::MIN_POSITIVE);
+    ((nf * ln_n).sqrt() / 8.0, (ln_n / nf).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for n in [1usize, 2, 7, 64, 333] {
+            let b = Binomial::fair(n);
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n = {n}: total = {total}");
+        }
+    }
+
+    #[test]
+    fn symmetric_fair_pmf() {
+        let b = Binomial::fair(11);
+        for k in 0..=11 {
+            assert!((b.pmf(k) - b.pmf(11 - k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn biased_distribution_moments() {
+        let b = Binomial::new(100, 0.3);
+        assert_eq!(b.mean(), 30.0);
+        assert!((b.variance() - 21.0).abs() < 1e-9);
+        assert_eq!(b.n(), 100);
+        // Mode near the mean.
+        let mode = (0..=100).max_by(|&a, &c| b.pmf(a).total_cmp(&b.pmf(c))).unwrap();
+        assert!((29..=31).contains(&mode));
+    }
+
+    #[test]
+    fn degenerate_p() {
+        let zero = Binomial::new(5, 0.0);
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(3), 0.0);
+        let one = Binomial::new(5, 1.0);
+        assert_eq!(one.pmf(5), 1.0);
+        assert_eq!(one.upper_tail(5), 1.0);
+    }
+
+    #[test]
+    fn tails_are_consistent() {
+        let b = Binomial::fair(20);
+        for k in 0..=20 {
+            let lhs = b.cdf(k) + b.upper_tail(k + 1);
+            assert!((lhs - 1.0).abs() < 1e-9, "k = {k}");
+        }
+        assert_eq!(b.upper_tail(21), 0.0);
+        assert_eq!(b.upper_tail(0), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // C(10,5)/2^10 = 252/1024.
+        let b = Binomial::fair(10);
+        assert!((b.pmf(5) - 252.0 / 1024.0).abs() < 1e-12);
+        assert!((b.ln_choose(5) - (252.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma_4_4_holds_exactly() {
+        // The content of E6 in miniature: the exact deviation tail
+        // dominates the closed-form bound on its stated domain.
+        for n in [64usize, 256, 1024, 4096] {
+            let b = Binomial::fair(n);
+            let sqrt_n = (n as f64).sqrt();
+            let mut t = 0.0;
+            while t < sqrt_n / 8.0 {
+                let exact = b.deviation_tail(t * sqrt_n);
+                let bound = lemma_4_4_bound(t);
+                assert!(
+                    exact >= bound,
+                    "n = {n}, t = {t}: exact {exact} < bound {bound}"
+                );
+                t += 0.25;
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_4_5_holds_exactly() {
+        for n in [64usize, 256, 1024, 8192] {
+            let (dev, bound) = corollary_4_5(n);
+            let exact = Binomial::fair(n).deviation_tail(dev);
+            assert!(
+                exact >= bound.min(1.0) * 0.999 || exact >= bound,
+                "n = {n}: exact {exact} < bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_decreasing_in_t() {
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let b = lemma_4_4_bound(f64::from(i) * 0.3);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be a probability")]
+    fn invalid_p_rejected() {
+        let _ = Binomial::new(3, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at most n")]
+    fn oversized_k_rejected() {
+        let _ = Binomial::fair(3).ln_choose(4);
+    }
+}

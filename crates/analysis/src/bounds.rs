@@ -1,0 +1,194 @@
+//! The paper's bound curves and shape-fitting helpers.
+//!
+//! Experiments never match the paper's constants (its bounds are
+//! asymptotic, our substrate is a simulator); what must match is the
+//! *shape*. These helpers express the curves of Theorems 1–3 and fit
+//! measured series against them.
+
+use synran_core::ln_clamped;
+
+/// Theorem 1's forced-round curve: `t / √(n·log n)`.
+#[must_use]
+pub fn lower_bound_rounds(n: usize, t: usize) -> f64 {
+    t as f64 / ((n as f64) * ln_clamped(n)).sqrt()
+}
+
+/// Corollary 3.6's form for `t = Ω(n)`: `√(n / log n)`.
+#[must_use]
+pub fn sqrt_n_over_log_n(n: usize) -> f64 {
+    ((n as f64) / ln_clamped(n)).sqrt()
+}
+
+/// Theorem 3's tight curve over the whole fault range:
+/// `t / √(n·log(2 + t/√n))`.
+///
+/// For `t = O(√n)` the log factor is constant and the curve is `O(1)`·t/√n;
+/// for `t = Ω(n)` it recovers `t/√(n·log n)` up to constants.
+#[must_use]
+pub fn tight_bound_rounds(n: usize, t: usize) -> f64 {
+    let nf = n as f64;
+    let arg = 2.0 + t as f64 / nf.sqrt();
+    t as f64 / (nf * arg.ln()).sqrt()
+}
+
+/// The deterministic baseline: `t + 1` rounds.
+#[must_use]
+pub fn deterministic_rounds(t: usize) -> f64 {
+    t as f64 + 1.0
+}
+
+/// A least-squares fit of `measured ≈ scale · predicted` through the
+/// origin, with the largest relative residual — the "does the shape hold"
+/// check used throughout EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeFit {
+    scale: f64,
+    max_rel_residual: f64,
+    points: usize,
+}
+
+impl ShapeFit {
+    /// Fits `measured[i] ≈ scale · predicted[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series are empty, differ in length, or `predicted`
+    /// is all zeros.
+    #[must_use]
+    pub fn fit(measured: &[f64], predicted: &[f64]) -> ShapeFit {
+        assert_eq!(measured.len(), predicted.len(), "series must align");
+        assert!(!measured.is_empty(), "need at least one point");
+        let num: f64 = measured.iter().zip(predicted).map(|(m, p)| m * p).sum();
+        let den: f64 = predicted.iter().map(|p| p * p).sum();
+        assert!(den > 0.0, "predicted series must not be all zeros");
+        let scale = num / den;
+        let max_rel_residual = measured
+            .iter()
+            .zip(predicted)
+            .map(|(m, p)| {
+                let fitted = scale * p;
+                if fitted.abs() < f64::MIN_POSITIVE {
+                    m.abs()
+                } else {
+                    ((m - fitted) / fitted).abs()
+                }
+            })
+            .fold(0.0, f64::max);
+        ShapeFit {
+            scale,
+            max_rel_residual,
+            points: measured.len(),
+        }
+    }
+
+    /// The fitted scale constant.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The largest relative deviation of any point from the fitted curve.
+    #[must_use]
+    pub fn max_rel_residual(&self) -> f64 {
+        self.max_rel_residual
+    }
+
+    /// Number of fitted points.
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// A loose shape verdict: every point within `tolerance` (relative) of
+    /// the fitted curve.
+    #[must_use]
+    pub fn shape_holds(&self, tolerance: f64) -> bool {
+        self.max_rel_residual <= tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_positive_and_monotone_in_t() {
+        let n = 1024;
+        let mut prev_lb = 0.0;
+        let mut prev_tb = 0.0;
+        for t in [1usize, 16, 64, 256, 1023] {
+            let lb = lower_bound_rounds(n, t);
+            let tb = tight_bound_rounds(n, t);
+            assert!(lb > prev_lb);
+            assert!(tb > prev_tb);
+            prev_lb = lb;
+            prev_tb = tb;
+        }
+    }
+
+    #[test]
+    fn tight_bound_interpolates_regimes() {
+        let n = 10_000usize;
+        // t = √n: log factor is ln 3 — an O(1)-ish number of rounds.
+        let small_t = tight_bound_rounds(n, 100);
+        assert!(small_t < 1.5, "t = √n should give O(1) rounds, got {small_t}");
+        // t = n: within a constant of t/√(n ln n).
+        let big_t = tight_bound_rounds(n, n);
+        let reference = lower_bound_rounds(n, n);
+        let ratio = big_t / reference;
+        assert!((0.5..=2.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn corollary_3_6_shape() {
+        // √(n/ln n) grows without bound but sublinearly.
+        assert!(sqrt_n_over_log_n(100) < sqrt_n_over_log_n(10_000));
+        assert!(sqrt_n_over_log_n(10_000) < 100.0);
+    }
+
+    #[test]
+    fn deterministic_is_linear() {
+        assert_eq!(deterministic_rounds(0), 1.0);
+        assert_eq!(deterministic_rounds(99), 100.0);
+    }
+
+    #[test]
+    fn crossover_deterministic_vs_randomized() {
+        // For t well past √n the randomized curve beats t + 1 by a growing
+        // factor; at t ≈ √n both are within a small constant of each other
+        // (the crossover region).
+        let n = 4096usize;
+        assert!(tight_bound_rounds(n, n / 2) < deterministic_rounds(n / 2));
+        let advantage = deterministic_rounds(n / 2) / tight_bound_rounds(n, n / 2);
+        assert!(advantage > 10.0, "advantage = {advantage}");
+        // Near t = √n the deterministic protocol is still competitive.
+        let t = 64; // √4096
+        assert!(deterministic_rounds(t) < 100.0);
+        assert!(tight_bound_rounds(n, t) < deterministic_rounds(t));
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_residual() {
+        let predicted = [1.0, 2.0, 3.0];
+        let measured = [2.5, 5.0, 7.5];
+        let fit = ShapeFit::fit(&measured, &predicted);
+        assert!((fit.scale() - 2.5).abs() < 1e-12);
+        assert!(fit.max_rel_residual() < 1e-12);
+        assert!(fit.shape_holds(0.01));
+        assert_eq!(fit.points(), 3);
+    }
+
+    #[test]
+    fn bad_fit_detected() {
+        let predicted = [1.0, 2.0, 3.0];
+        let measured = [1.0, 10.0, 1.0]; // not a scaled copy
+        let fit = ShapeFit::fit(&measured, &predicted);
+        assert!(!fit.shape_holds(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "series must align")]
+    fn mismatched_series_rejected() {
+        let _ = ShapeFit::fit(&[1.0], &[1.0, 2.0]);
+    }
+}

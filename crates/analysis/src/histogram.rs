@@ -1,0 +1,146 @@
+//! Integer histograms for round-count distributions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram over non-negative integer observations (round counts, kill
+/// counts).
+///
+/// # Examples
+///
+/// ```
+/// use synran_analysis::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.extend([2u32, 2, 3, 5, 5, 5]);
+/// assert_eq!(h.total(), 6);
+/// assert_eq!(h.mode(), Some(5));
+/// assert_eq!(h.count(2), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, value: u32) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of one value.
+    #[must_use]
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// The most frequent value (smallest on ties), if any observation was
+    /// recorded.
+    #[must_use]
+    pub fn mode(&self) -> Option<u32> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&v, _)| v)
+    }
+
+    /// Iterates over `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Renders an ASCII bar chart, `width` characters for the largest bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        assert!(width > 0, "width must be positive");
+        let max = self.counts.values().copied().max().unwrap_or(0);
+        if max == 0 {
+            return String::from("(empty histogram)\n");
+        }
+        let mut out = String::new();
+        for (&v, &c) in &self.counts {
+            let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+            let bar: String = std::iter::repeat_n('#', bar_len.max(1)).collect();
+            out.push_str(&format!("{v:>6} | {bar} {c}\n"));
+        }
+        out
+    }
+}
+
+impl Extend<u32> for Histogram {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<u32> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Histogram {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let h: Histogram = [1u32, 1, 2, 9].into_iter().collect();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 0);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 2), (2, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn mode_prefers_smallest_on_ties() {
+        let h: Histogram = [3u32, 3, 7, 7, 5].into_iter().collect();
+        assert_eq!(h.mode(), Some(3));
+        assert_eq!(Histogram::new().mode(), None);
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let h: Histogram = [1u32, 1, 1, 1, 2].into_iter().collect();
+        let s = h.render(8);
+        assert!(s.contains("1 | ######## 4"), "{s}");
+        assert!(s.contains("2 | ## 1") || s.contains("2 | # 1"), "{s}");
+        assert_eq!(Histogram::new().render(8), "(empty histogram)\n");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let h: Histogram = [4u32].into_iter().collect();
+        assert_eq!(h.to_string(), h.render(40));
+    }
+}

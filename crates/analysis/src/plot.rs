@@ -1,0 +1,200 @@
+//! ASCII series plots for the experiment harnesses.
+
+use std::fmt::Write as _;
+
+/// A terminal scatter/line plot of one or more named series over a shared
+/// x-axis.
+///
+/// Experiment binaries use this to make shapes (plateaus, crossovers,
+/// linear growth) visible directly in the harness output — the closest a
+/// text report gets to the paper's "figures".
+///
+/// # Examples
+///
+/// ```
+/// use synran_analysis::AsciiPlot;
+///
+/// let mut plot = AsciiPlot::new(40, 10);
+/// plot.series('a', &[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+/// plot.series('b', &[(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]);
+/// let s = plot.render();
+/// assert!(s.contains('a') && s.contains('b'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    log_x: bool,
+}
+
+impl AsciiPlot {
+    /// Creates a plot canvas of `width` columns by `height` rows
+    /// (excluding axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> AsciiPlot {
+        assert!(width >= 2 && height >= 2, "canvas must be at least 2×2");
+        AsciiPlot {
+            width,
+            height,
+            series: Vec::new(),
+            log_x: false,
+        }
+    }
+
+    /// Uses a logarithmic x-axis — the natural scale for the `t`-sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at render) if any x value is not strictly positive.
+    #[must_use]
+    pub fn log_x(mut self) -> AsciiPlot {
+        self.log_x = true;
+        self
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    pub fn series(&mut self, marker: char, points: &[(f64, f64)]) -> &mut AsciiPlot {
+        self.series.push((marker, points.to_vec()));
+        self
+    }
+
+    /// Renders the plot with y-axis labels and an x-range footer.
+    ///
+    /// Returns a note instead of a canvas when there is nothing to plot.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let points: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
+        if points.is_empty() {
+            return String::from("(empty plot)\n");
+        }
+        let tx = |x: f64| -> f64 {
+            if self.log_x {
+                assert!(x > 0.0, "log x-axis requires positive x values");
+                x.ln()
+            } else {
+                x
+            }
+        };
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &points {
+            x_min = x_min.min(tx(x));
+            x_max = x_max.max(tx(x));
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for (marker, pts) in &self.series {
+            for &(x, y) in pts {
+                let cx = ((tx(x) - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                // Row 0 is the top of the canvas.
+                let row = self.height - 1 - cy;
+                canvas[row][cx.min(self.width - 1)] = *marker;
+            }
+        }
+
+        let mut out = String::new();
+        for (i, row) in canvas.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_max:>8.1}")
+            } else if i == self.height - 1 {
+                format!("{y_min:>8.1}")
+            } else {
+                " ".repeat(8)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label} |{line}");
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(8), "-".repeat(self.width));
+        let x_lo = if self.log_x { x_min.exp() } else { x_min };
+        let x_hi = if self.log_x { x_max.exp() } else { x_max };
+        let scale = if self.log_x { " (log x)" } else { "" };
+        let _ = writeln!(out, "{} x: {x_lo:.0} … {x_hi:.0}{scale}", " ".repeat(8));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_extremes_at_edges() {
+        let mut p = AsciiPlot::new(20, 5);
+        p.series('*', &[(0.0, 0.0), (10.0, 100.0)]);
+        let s = p.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Max y label on the first row, min on the last canvas row.
+        assert!(lines[0].trim_start().starts_with("100.0"), "{s}");
+        assert!(lines[4].trim_start().starts_with("0.0"), "{s}");
+        // The high point lands on the top row, far right.
+        assert!(lines[0].ends_with('*'), "{s}");
+        // The low point on the bottom row, left edge.
+        assert!(lines[4].contains("|*"), "{s}");
+    }
+
+    #[test]
+    fn multiple_series_keep_markers() {
+        let mut p = AsciiPlot::new(10, 4);
+        p.series('a', &[(1.0, 1.0)]);
+        p.series('b', &[(2.0, 2.0)]);
+        let s = p.render();
+        assert!(s.contains('a'));
+        assert!(s.contains('b'));
+    }
+
+    #[test]
+    fn log_axis_footer_and_spacing() {
+        let mut p = AsciiPlot::new(30, 4).log_x();
+        p.series('#', &[(1.0, 1.0), (10.0, 2.0), (100.0, 3.0)]);
+        let s = p.render();
+        assert!(s.contains("(log x)"), "{s}");
+        assert!(s.contains("x: 1 … 100"), "{s}");
+    }
+
+    #[test]
+    fn empty_plot_is_a_note() {
+        assert_eq!(AsciiPlot::new(10, 4).render(), "(empty plot)\n");
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut p = AsciiPlot::new(10, 4);
+        p.series('x', &[(5.0, 7.0), (5.0, 7.0)]);
+        let s = p.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive x")]
+    fn log_axis_rejects_nonpositive() {
+        let mut p = AsciiPlot::new(10, 4).log_x();
+        p.series('x', &[(0.0, 1.0)]);
+        let _ = p.render();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2×2")]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiPlot::new(1, 5);
+    }
+}

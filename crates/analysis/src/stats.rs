@@ -1,0 +1,315 @@
+//! Summary statistics for experiment observations.
+
+/// An online (Welford) accumulator for mean and variance.
+///
+/// Numerically stable for long experiment streams; no storage of samples.
+///
+/// # Examples
+///
+/// ```
+/// use synran_analysis::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 5.0);
+/// assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Accumulator {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observation was added.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        assert!(self.count > 0, "mean of zero observations");
+        self.mean
+    }
+
+    /// Population variance (divides by `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observation was added.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        assert!(self.count > 0, "variance of zero observations");
+        self.m2 / self.count as f64
+    }
+
+    /// Sample variance (divides by `n − 1`); zero for a single observation.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        self.m2 / (self.count - 1) as f64
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.stddev() / (self.count as f64).sqrt()
+    }
+
+    /// Normal-approximation 95% confidence half-width of the mean.
+    #[must_use]
+    pub fn ci95_halfwidth(&self) -> f64 {
+        1.96 * self.stderr()
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Accumulator {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Summarises a slice of `u32` observations (round counts, kill counts).
+///
+/// # Examples
+///
+/// ```
+/// use synran_analysis::Summary;
+///
+/// let s = Summary::of_u32(&[1, 2, 3, 4, 100]);
+/// assert_eq!(s.mean(), 22.0);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.quantile(1.0), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    acc: Accumulator,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from floating observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains NaN.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "summary of zero observations");
+        assert!(xs.iter().all(|x| !x.is_nan()), "NaN observation");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            acc: xs.iter().copied().collect(),
+            sorted,
+        }
+    }
+
+    /// Builds a summary from `u32` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    #[must_use]
+    pub fn of_u32(xs: &[u32]) -> Summary {
+        let floats: Vec<f64> = xs.iter().map(|&x| f64::from(x)).collect();
+        Summary::of(&floats)
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.acc.stddev()
+    }
+
+    /// 95% confidence half-width of the mean.
+    #[must_use]
+    pub fn ci95_halfwidth(&self) -> f64 {
+        self.acc.ci95_halfwidth()
+    }
+
+    /// The `q`-quantile (linear interpolation), `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 >= n {
+            self.sorted[n - 1]
+        } else {
+            self.sorted[i] * (1.0 - frac) + self.sorted[i + 1] * frac
+        }
+    }
+
+    /// The median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.5, 2.5, 3.5, -1.0, 0.0, 10.0];
+        let acc: Accumulator = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.population_variance() - var).abs() < 1e-12);
+        assert_eq!(acc.count(), 6);
+        assert_eq!(acc.min(), -1.0);
+        assert_eq!(acc.max(), 10.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut acc = Accumulator::new();
+        acc.push(7.0);
+        assert_eq!(acc.mean(), 7.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.stddev(), 0.0);
+        assert_eq!(acc.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observations")]
+    fn empty_mean_panics() {
+        let _ = Accumulator::new().mean();
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::of(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(1.0), 40.0);
+        assert_eq!(s.median(), 25.0);
+        assert!((s.quantile(1.0 / 3.0) - 20.0).abs() < 1e-9);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 40.0);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..400).map(|i| f64::from(i % 4) + 1.0).collect();
+        let many = Summary::of(&many);
+        assert!(many.ci95_halfwidth() < few.ci95_halfwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn out_of_range_quantile_panics() {
+        let s = Summary::of(&[1.0]);
+        let _ = s.quantile(1.5);
+    }
+}

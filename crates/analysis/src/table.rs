@@ -1,0 +1,198 @@
+//! Aligned text tables for the experiment harnesses.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// The first column is left-aligned (labels), the rest right-aligned
+/// (numbers) — the layout every experiment binary prints.
+///
+/// # Examples
+///
+/// ```
+/// use synran_analysis::Table;
+///
+/// let mut t = Table::new(["n", "rounds", "ratio"]);
+/// t.row(["64", "12.5", "1.02"]);
+/// t.row(["256", "31.0", "0.98"]);
+/// let s = t.to_string();
+/// assert!(s.contains("n"));
+/// assert!(s.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are given.
+    #[must_use]
+    pub fn new<I, S>(headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match the header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data row was added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{:<width$}", c, width = widths[i])
+                    } else {
+                        format!("{:>width$}", c, width = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `prec` decimal places (the tables' house style).
+#[must_use]
+pub fn fmt_f64(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["b", "10000"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        // Numbers right-aligned.
+        assert!(lines[2].ends_with("    1"), "{s}");
+        assert!(lines[3].ends_with("10000"), "{s}");
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(["only"]);
+        t.row(["a", "b"]);
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(2.0, 0), "2");
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion time benches guarding the simulator's performance.
+//!
+//! These are *performance* benches (the experiment harnesses live in
+//! `src/bin/`): engine round throughput, SynRan round cost, coin-game
+//! hide-set search, and valency estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use synran_adversary::{estimate_valency, Balancer, ProbeSet};
+use synran_coin::{
+    CombinedHider, ExhaustiveHider, GreedyHider, HideSearch, MajorityGame, Outcome,
+};
+use synran_core::{ConsensusProtocol, SynRan};
+use synran_sim::{Bit, Passive, SimConfig, SimRng, World};
+use synran_sim::testing::CountDown;
+
+fn bench_engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("broadcast", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut world = World::new(SimConfig::new(n).seed(1), |_| {
+                    CountDown::new(10, Bit::One)
+                })
+                .expect("valid config");
+                world.run(&mut Passive).expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_synran(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synran_run");
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("passive_split", n), &n, |b, &n| {
+            let protocol = SynRan::new();
+            b.iter(|| {
+                let mut world = World::new(SimConfig::new(n).seed(2), |pid| {
+                    protocol.spawn(pid, n, Bit::from(pid.index() < n / 2))
+                })
+                .expect("valid config");
+                world.run(&mut Passive).expect("run")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("balancer_split", n), &n, |b, &n| {
+            let protocol = SynRan::new();
+            b.iter(|| {
+                let mut world = World::new(
+                    SimConfig::new(n).faults(n - 1).seed(2).max_rounds(100_000),
+                    |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+                )
+                .expect("valid config");
+                world.run(&mut Balancer::unbounded()).expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coin_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coin_search");
+    let mut rng = SimRng::new(3);
+    for n in [16usize, 64, 256] {
+        let game = MajorityGame::new(n);
+        let values: Vec<u32> = (0..n).map(|_| rng.bit().as_u8().into()).collect();
+        let t = (n as f64).sqrt().ceil() as usize * 2;
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| GreedyHider.force(&game, &values, t, Outcome(0)));
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+                let searcher = ExhaustiveHider::default();
+                b.iter(|| searcher.force(&game, &values, 3, Outcome(0)));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("combined", n), &n, |b, _| {
+            let searcher = CombinedHider::with_budget(1 << 12);
+            b.iter(|| searcher.force(&game, &values, t, Outcome(1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_valency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valency_estimate");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("synran_probes", n), &n, |b, &n| {
+            let protocol = SynRan::new();
+            let mut world = World::new(
+                SimConfig::new(n).faults(n / 2).seed(4).max_rounds(10_000),
+                |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+            )
+            .expect("valid config");
+            world.phase_a().expect("phase A");
+            let probes = ProbeSet::synran(n / 2);
+            b.iter(|| estimate_valency(&world, &probes, 4, 40, 5).expect("estimate"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_rounds,
+    bench_synran,
+    bench_coin_search,
+    bench_valency
+);
+criterion_main!(benches);

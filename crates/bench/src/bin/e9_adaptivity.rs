@@ -1,0 +1,152 @@
+//! E9 — §1.2: the lower bound *needs* adaptivity.
+//!
+//! The paper (citing Chor–Merritt–Shmoys) notes that `O(1)` expected
+//! rounds are achievable against **non-adaptive** fail-stop adversaries,
+//! so Theorem 1's `Ω(t/√(n·log n))` is specifically about *adaptive*
+//! ones. This harness measures the full landscape with both protocols and
+//! both adversary kinds:
+//!
+//! * `LeaderConsensus` (CMS-style random leader, `t < n/2`): `O(1)`
+//!   expected rounds against any pre-committed schedule, but `Θ(t)` rounds
+//!   against the adaptive leader hunter — adaptivity costs it everything;
+//! * `SynRan` (the paper's protocol, any `t < n`): `Θ(t/√(n·log n))`
+//!   against its best adaptive attack — slower than CMS against statics,
+//!   but *immune to adaptivity* in exactly the sense the paper's tight
+//!   bound promises.
+
+use synran_adversary::{Balancer, LeaderHunter, Oblivious};
+use synran_analysis::{fmt_f64, Summary, Table};
+use synran_bench::{banner, section, Args};
+use synran_core::{check_consensus, ConsensusProtocol, LeaderConsensus, SynRan};
+use synran_sim::{Adversary, Bit, Passive, Process, SimConfig, SimRng};
+
+fn measure<P, A>(
+    protocol: &P,
+    n: usize,
+    t: usize,
+    runs: usize,
+    seed: u64,
+    mut make: impl FnMut(u64) -> A,
+) -> (f64, f64, f64)
+where
+    P: ConsensusProtocol,
+    A: Adversary<P::Proc>,
+    P::Proc: Process,
+{
+    let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i % 2 == 0)).collect();
+    let mut rounds = Vec::new();
+    let mut kills = Vec::new();
+    for r in 0..runs {
+        let run_seed = SimRng::new(seed).derive(r as u64).next_u64();
+        let verdict = check_consensus(
+            protocol,
+            &inputs,
+            SimConfig::new(n).faults(t).seed(run_seed).max_rounds(200_000),
+            &mut make(run_seed),
+        )
+        .expect("engine error");
+        assert!(
+            verdict.is_correct(),
+            "violation at n={n} t={t}: {:?}",
+            verdict.violations()
+        );
+        rounds.push(verdict.rounds());
+        kills.push(verdict.report().metrics().total_kills() as u32);
+    }
+    let s = Summary::of_u32(&rounds);
+    (s.mean(), s.ci95_halfwidth(), Summary::of_u32(&kills).mean())
+}
+
+fn main() {
+    let args = Args::from_env();
+    let runs = args.get_usize("runs", 25);
+    let seed = args.get_u64("seed", 9);
+    let sizes: Vec<usize> = if args.flag("fast") {
+        vec![33]
+    } else {
+        vec![33, 65, 129]
+    };
+
+    banner(
+        "E9 adaptivity is necessary (§1.2 / [CMS89])",
+        "non-adaptive adversaries allow O(1) expected rounds; Theorem 1 needs adaptivity",
+    );
+    println!("even-split inputs, {runs} runs/cell; LeaderConsensus uses t = (n−1)/2 (its bound), SynRan t = n−1");
+
+    section("LeaderConsensus (CMS-style): static vs adaptive");
+    let mut table = Table::new([
+        "n", "t", "adversary", "mean rounds", "±95%", "kills", "rounds/t",
+    ]);
+    for &n in &sizes {
+        let t = (n - 1) / 2;
+        let protocol = LeaderConsensus::for_faults(t);
+        let (m, ci, k) = measure(&protocol, n, t, runs, seed, |_| Passive);
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            "passive".into(),
+            fmt_f64(m, 1),
+            fmt_f64(ci, 1),
+            fmt_f64(k, 1),
+            fmt_f64(m / t as f64, 2),
+        ]);
+        let (m, ci, k) = measure(&protocol, n, t, runs, seed ^ 1, |s| {
+            Oblivious::new(n, 1, 200, s)
+        });
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            "oblivious(1/rd)".into(),
+            fmt_f64(m, 1),
+            fmt_f64(ci, 1),
+            fmt_f64(k, 1),
+            fmt_f64(m / t as f64, 2),
+        ]);
+        let (m, ci, k) = measure(&protocol, n, t, runs, seed ^ 2, |_| LeaderHunter::new());
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            "leader-hunter".into(),
+            fmt_f64(m, 1),
+            fmt_f64(ci, 1),
+            fmt_f64(k, 1),
+            fmt_f64(m / t as f64, 2),
+        ]);
+    }
+    print!("{table}");
+    println!("\nexpected: passive and oblivious rows are flat (O(1), the CMS effect);");
+    println!("the hunter row grows ∝ t (rounds/t roughly constant) at ~2 kills/round.");
+
+    section("SynRan for contrast: adaptivity changes little");
+    let mut syn_table = Table::new(["n", "t", "adversary", "mean rounds", "±95%", "kills"]);
+    for &n in &sizes {
+        let t = n - 1;
+        let protocol = SynRan::new();
+        for (name, oblivious) in [("oblivious(√n/rd)", true), ("balancer (adaptive)", false)] {
+            let rate = (n as f64).sqrt().ceil() as usize;
+            let (m, ci, k) = if oblivious {
+                measure(&protocol, n, t, runs, seed ^ 3, |s| {
+                    Box::new(Oblivious::new(n, rate, 200, s))
+                        as Box<dyn Adversary<synran_core::SynRanProcess>>
+                })
+            } else {
+                measure(&protocol, n, t, runs, seed ^ 4, |_| {
+                    Box::new(Balancer::unbounded())
+                        as Box<dyn Adversary<synran_core::SynRanProcess>>
+                })
+            };
+            syn_table.row([
+                n.to_string(),
+                t.to_string(),
+                name.into(),
+                fmt_f64(m, 1),
+                fmt_f64(ci, 1),
+                fmt_f64(k, 1),
+            ]);
+        }
+    }
+    print!("{syn_table}");
+    println!("\nreading: SynRan pays a bounded factor either way — its Θ(t/√(n·log n))");
+    println!("guarantee holds against adaptive adversaries, where leader protocols fall to Θ(t).");
+    println!("Both facts together are the paper's §1.2 landscape.");
+}

@@ -1,0 +1,100 @@
+//! Small numeric helpers shared by the protocols.
+//!
+//! The paper writes `log` without a base; all its bounds are asymptotic, so
+//! the base only shifts constants. This crate uses the natural logarithm
+//! throughout, clamped away from zero so tiny systems (n = 1, 2) stay
+//! well-defined.
+
+/// `ln n`, clamped to at least 0.5 so ratios like `n / ln n` are defined
+/// and monotone for every `n ≥ 1`.
+#[must_use]
+pub fn ln_clamped(n: usize) -> f64 {
+    (n as f64).ln().max(0.5)
+}
+
+/// The paper's `√(n / log n)` — the live-process threshold below which
+/// SynRan switches to its deterministic stage, and the length of that
+/// stage.
+///
+/// # Examples
+///
+/// ```
+/// let th = synran_core::deterministic_threshold(1000);
+/// assert!((th - (1000.0f64 / 1000.0f64.ln()).sqrt()).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn deterministic_threshold(n: usize) -> f64 {
+    (n as f64 / ln_clamped(n)).sqrt()
+}
+
+/// Number of flooding rounds SynRan's deterministic stage runs:
+/// `⌈√(n / log n)⌉ + 2`.
+///
+/// The paper runs exactly `√(n/log n)` rounds. We add two slack rounds to
+/// absorb the one-round skew that partial-delivery kills can introduce
+/// between processes entering the stage (see DESIGN.md §2); the stage
+/// remains `O(√(n / log n))`, so every bound in the paper is unaffected.
+#[must_use]
+pub fn deterministic_stage_rounds(n: usize) -> u32 {
+    deterministic_threshold(n).ceil() as u32 + 2
+}
+
+/// The paper's lower-bound kill rate `4·√(n·log n)` (Lemma 3.1): how many
+/// processes per round the adversary budgets to keep an execution
+/// null-valent or bivalent.
+#[must_use]
+pub fn per_round_kill_budget(n: usize) -> f64 {
+    4.0 * ((n as f64) * ln_clamped(n)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_clamped_is_monotone_and_positive() {
+        let mut prev = 0.0;
+        for n in [1usize, 2, 3, 10, 100, 10_000] {
+            let v = ln_clamped(n);
+            assert!(v >= 0.5);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn thresholds_are_sublinear() {
+        for n in [4usize, 64, 1024, 65_536] {
+            let th = deterministic_threshold(n);
+            assert!(th > 0.0);
+            assert!(th < n as f64, "threshold must be below n");
+            // √(n/ln n) grows, but slower than √n.
+            assert!(th <= (n as f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn stage_rounds_cover_the_alive_count() {
+        // When the stage begins, fewer than √(n/ln n) processes are alive;
+        // flooding needs (alive − 1) + 1 = alive rounds in the worst case,
+        // and we run ⌈√(n/ln n)⌉ + 2 ≥ alive + 1.
+        for n in [2usize, 10, 100, 5000] {
+            let alive_max = deterministic_threshold(n).ceil() as u32;
+            assert!(deterministic_stage_rounds(n) > alive_max);
+        }
+    }
+
+    #[test]
+    fn kill_budget_matches_formula() {
+        let n = 400usize;
+        let expect = 4.0 * ((400.0f64) * 400.0f64.ln()).sqrt();
+        assert!((per_round_kill_budget(n) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_systems_are_defined() {
+        assert!(deterministic_threshold(1).is_finite());
+        assert!(deterministic_stage_rounds(1) >= 3);
+        assert!(per_round_kill_budget(1) > 0.0);
+    }
+}

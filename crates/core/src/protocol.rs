@@ -1,0 +1,66 @@
+//! The consensus-protocol abstraction shared by runners and experiments.
+
+use synran_sim::{Bit, Process, ProcessId};
+
+/// A family of consensus processes: given a system size and an input bit,
+/// produces the process each participant runs.
+///
+/// A `ConsensusProtocol` is the *recipe*; the [`Process`](synran_sim::Process)
+/// instances it spawns are the running state machines. Processes must be
+/// `Clone` so full-information adversaries can fork executions and explore
+/// futures (see `synran-adversary`).
+///
+/// # Examples
+///
+/// ```
+/// use synran_core::{ConsensusProtocol, FloodingConsensus};
+/// use synran_sim::{Bit, ProcessId};
+///
+/// let protocol = FloodingConsensus::with_rounds(3);
+/// let proc = protocol.spawn(ProcessId::new(0), 4, Bit::One);
+/// let _ = proc; // a ready-to-run process
+/// ```
+pub trait ConsensusProtocol {
+    /// The process type participants run.
+    type Proc: Process + Clone;
+
+    /// Creates the process `pid` runs in a system of `n` processes with
+    /// input `input`.
+    fn spawn(&self, pid: ProcessId, n: usize, input: Bit) -> Self::Proc;
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A minimal protocol implementation to pin the trait's shape.
+    #[derive(Debug)]
+    struct EchoProtocol;
+
+    impl ConsensusProtocol for EchoProtocol {
+        type Proc = synran_sim::testing::Echo;
+
+        fn spawn(&self, _pid: ProcessId, _n: usize, input: Bit) -> Self::Proc {
+            synran_sim::testing::Echo::new(input)
+        }
+
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn trait_is_usable_with_generic_runners() {
+        fn spawn_all<P: ConsensusProtocol>(p: &P, n: usize) -> Vec<P::Proc> {
+            ProcessId::all(n)
+                .map(|pid| p.spawn(pid, n, Bit::Zero))
+                .collect()
+        }
+        let procs = spawn_all(&EchoProtocol, 3);
+        assert_eq!(procs.len(), 3);
+        assert_eq!(EchoProtocol.name(), "echo");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property test: `SynRanProcess::predict` is exactly the transition
+//! `receive` applies — the contract the exact valency evaluator and the
+//! full-information adversaries rely on.
+
+use proptest::prelude::*;
+
+use synran_core::{CoinRule, PredictedStep, StageKind, SynRanMsg, SynRanProcess, ValueSet};
+use synran_sim::{Bit, Context, Inbox, Process, ProcessId, Round, SimRng};
+
+/// Builds an inbox with exactly `ones` Pref(1), `zeros` Pref(0), and
+/// `known` Known messages.
+fn inbox_with(ones: usize, zeros: usize, known: usize) -> Inbox<SynRanMsg> {
+    let mut msgs = Vec::new();
+    let mut sender = 0usize;
+    for _ in 0..ones {
+        msgs.push((ProcessId::new(sender), SynRanMsg::Pref(Bit::One)));
+        sender += 1;
+    }
+    for _ in 0..zeros {
+        msgs.push((ProcessId::new(sender), SynRanMsg::Pref(Bit::Zero)));
+        sender += 1;
+    }
+    for _ in 0..known {
+        msgs.push((
+            ProcessId::new(sender),
+            SynRanMsg::Known(ValueSet::single(Bit::One)),
+        ));
+        sender += 1;
+    }
+    Inbox::from_messages(msgs)
+}
+
+fn drive(process: &mut SynRanProcess, inbox: &Inbox<SynRanMsg>, seed: u64) {
+    let mut rng = SimRng::new(seed);
+    let mut ctx = Context::new(ProcessId::new(0), process_n(process), Round::FIRST, &mut rng);
+    process.receive(&mut ctx, inbox);
+}
+
+fn process_n(_p: &SynRanProcess) -> usize {
+    // n is only used for the context; the value does not affect receive.
+    64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn predict_matches_receive(
+        n in 2usize..40,
+        input in any::<bool>(),
+        rule_one_sided in any::<bool>(),
+        history in proptest::collection::vec((0usize..40, 0usize..40, 0usize..4), 0..5),
+        ones in 0usize..40,
+        zeros in 0usize..40,
+        known in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let rule = if rule_one_sided { CoinRule::OneSided } else { CoinRule::Symmetric };
+        let mut p = SynRanProcess::new(n, Bit::from(input), rule);
+
+        // Random warm-up rounds (stop early if the process leaves the
+        // probabilistic stage).
+        for (i, &(o, z, k)) in history.iter().enumerate() {
+            if p.stage() != StageKind::Probabilistic || p.decision().is_some() {
+                break;
+            }
+            drive(&mut p, &inbox_with(o, z, k), seed.wrapping_add(i as u64));
+        }
+        prop_assume!(p.stage() == StageKind::Probabilistic && p.decision().is_none());
+
+        let n_r = ones + zeros + known;
+        let predicted = p.predict(n_r, ones, zeros).expect("probabilistic stage");
+        let before = p.clone();
+        drive(&mut p, &inbox_with(ones, zeros, known), seed ^ 0xABCD);
+
+        match predicted {
+            PredictedStep::Handover => {
+                prop_assert_eq!(p.stage(), StageKind::Delay);
+                prop_assert_eq!(p.preference(), before.preference(), "b frozen at handover");
+            }
+            PredictedStep::Stop(v) => {
+                prop_assert_eq!(p.decision(), Some(v));
+                prop_assert!(p.halted());
+            }
+            PredictedStep::Propose { value, decided } => {
+                prop_assert_eq!(p.stage(), StageKind::Probabilistic);
+                prop_assert_eq!(p.preference(), value);
+                prop_assert_eq!(p.tentatively_decided(), decided);
+                prop_assert_eq!(p.decision(), None);
+            }
+            PredictedStep::FlipCoin => {
+                prop_assert_eq!(p.stage(), StageKind::Probabilistic);
+                prop_assert!(!p.tentatively_decided());
+                prop_assert_eq!(p.decision(), None);
+                // The coin is the only nondeterminism: same seed, same bit.
+                let mut q = before.clone();
+                drive(&mut q, &inbox_with(ones, zeros, known), seed ^ 0xABCD);
+                prop_assert_eq!(q.preference(), p.preference());
+            }
+        }
+        // The message-count history advanced exactly once.
+        prop_assert_eq!(p.last_n(), n_r);
+    }
+
+    /// The one-sided rule is the only difference between the variants:
+    /// with zeros visible, both rules predict identically.
+    #[test]
+    fn variants_agree_when_zeros_visible(
+        n in 2usize..40,
+        ones in 0usize..40,
+        zeros in 1usize..40, // at least one zero
+        input in any::<bool>(),
+    ) {
+        let a = SynRanProcess::new(n, Bit::from(input), CoinRule::OneSided);
+        let b = SynRanProcess::new(n, Bit::from(input), CoinRule::Symmetric);
+        let n_r = ones + zeros;
+        prop_assert_eq!(a.predict(n_r, ones, zeros), b.predict(n_r, ones, zeros));
+    }
+}

@@ -1,0 +1,193 @@
+//! The binary values processes agree on.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A single binary value: the domain of consensus inputs and decisions.
+///
+/// `Bit` is used for protocol inputs, proposals, coin flips, and decisions
+/// throughout the workspace. It is a deliberate newtype-style enum rather
+/// than `bool` so that signatures convey meaning (`C-CUSTOM-TYPE`).
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::Bit;
+///
+/// let b = Bit::One;
+/// assert_eq!(!b, Bit::Zero);
+/// assert_eq!(b.as_u8(), 1);
+/// assert_eq!(Bit::from(true), Bit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bit {
+    /// The value 0.
+    Zero,
+    /// The value 1.
+    One,
+}
+
+impl Bit {
+    /// Both values, in ascending order. Handy for exhaustive sweeps.
+    pub const BOTH: [Bit; 2] = [Bit::Zero, Bit::One];
+
+    /// Returns the opposite value.
+    ///
+    /// ```
+    /// # use synran_sim::Bit;
+    /// assert_eq!(Bit::Zero.flip(), Bit::One);
+    /// ```
+    #[must_use]
+    pub const fn flip(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+
+    /// Returns this bit as `0u8` or `1u8`.
+    #[must_use]
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            Bit::Zero => 0,
+            Bit::One => 1,
+        }
+    }
+
+    /// Returns this bit as a `bool` (`One` is `true`).
+    #[must_use]
+    pub const fn as_bool(self) -> bool {
+        matches!(self, Bit::One)
+    }
+
+    /// Returns `true` if this is [`Bit::One`].
+    #[must_use]
+    pub const fn is_one(self) -> bool {
+        matches!(self, Bit::One)
+    }
+
+    /// Returns `true` if this is [`Bit::Zero`].
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Bit::Zero)
+    }
+}
+
+impl Default for Bit {
+    /// Defaults to [`Bit::Zero`].
+    fn default() -> Self {
+        Bit::Zero
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+
+    fn not(self) -> Bit {
+        self.flip()
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> bool {
+        b.as_bool()
+    }
+}
+
+impl From<Bit> for u8 {
+    fn from(b: Bit) -> u8 {
+        b.as_u8()
+    }
+}
+
+impl From<Bit> for usize {
+    fn from(b: Bit) -> usize {
+        b.as_u8() as usize
+    }
+}
+
+impl TryFrom<u8> for Bit {
+    type Error = crate::error::ParseBitError;
+
+    /// Converts `0` or `1` into a [`Bit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitError`](crate::error::ParseBitError) for any other
+    /// value.
+    fn try_from(v: u8) -> Result<Bit, Self::Error> {
+        match v {
+            0 => Ok(Bit::Zero),
+            1 => Ok(Bit::One),
+            other => Err(crate::error::ParseBitError { value: other }),
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involution() {
+        for b in Bit::BOTH {
+            assert_eq!(b.flip().flip(), b);
+            assert_ne!(b.flip(), b);
+        }
+    }
+
+    #[test]
+    fn not_operator_matches_flip() {
+        assert_eq!(!Bit::Zero, Bit::One);
+        assert_eq!(!Bit::One, Bit::Zero);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        for b in Bit::BOTH {
+            assert_eq!(Bit::from(b.as_bool()), b);
+            assert_eq!(Bit::try_from(b.as_u8()).unwrap(), b);
+            assert_eq!(usize::from(b), b.as_u8() as usize);
+        }
+    }
+
+    #[test]
+    fn try_from_rejects_non_binary() {
+        for v in [2u8, 3, 200, u8::MAX] {
+            let err = Bit::try_from(v).unwrap_err();
+            assert!(err.to_string().contains(&v.to_string()));
+        }
+    }
+
+    #[test]
+    fn display_is_numeric() {
+        assert_eq!(Bit::Zero.to_string(), "0");
+        assert_eq!(Bit::One.to_string(), "1");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+
+    #[test]
+    fn ordering_zero_below_one() {
+        assert!(Bit::Zero < Bit::One);
+    }
+}

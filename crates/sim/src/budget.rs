@@ -1,0 +1,130 @@
+//! The adversary's fault budget: the paper's `t` and `t'`.
+
+use crate::{Round, SimError};
+
+/// Tracks how many processes a *t-adversary* may still fail.
+///
+/// The engine — not the adversary implementation — owns the budget, so a
+/// buggy or malicious adversary cannot overspend: interventions that exceed
+/// the remaining budget are rejected with
+/// [`SimError::BudgetExceeded`].
+///
+/// The paper writes `t` for the total budget and `t'` for what remains at a
+/// given point of the execution (Corollary 3.4); [`FaultBudget::remaining`]
+/// is `t'`.
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::FaultBudget;
+///
+/// let mut budget = FaultBudget::new(5);
+/// assert_eq!(budget.remaining(), 5);
+/// budget.try_spend(2, synran_sim::Round::FIRST)?;
+/// assert_eq!(budget.used(), 2);
+/// assert_eq!(budget.remaining(), 3);
+/// # Ok::<(), synran_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBudget {
+    total: usize,
+    used: usize,
+}
+
+impl FaultBudget {
+    /// Creates a budget allowing `total` failures over the whole execution.
+    #[must_use]
+    pub const fn new(total: usize) -> FaultBudget {
+        FaultBudget { total, used: 0 }
+    }
+
+    /// The total allowance `t`.
+    #[must_use]
+    pub const fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Failures already charged.
+    #[must_use]
+    pub const fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Failures still available — the paper's `t'`.
+    #[must_use]
+    pub const fn remaining(&self) -> usize {
+        self.total - self.used
+    }
+
+    /// Returns `true` if at least `k` more failures are affordable.
+    #[must_use]
+    pub const fn can_afford(&self, k: usize) -> bool {
+        k <= self.remaining()
+    }
+
+    /// Charges `k` failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] (tagged with `round`) if fewer
+    /// than `k` failures remain; the budget is unchanged on error.
+    pub fn try_spend(&mut self, k: usize, round: Round) -> Result<(), SimError> {
+        if !self.can_afford(k) {
+            return Err(SimError::BudgetExceeded {
+                round,
+                requested: k,
+                remaining: self.remaining(),
+            });
+        }
+        self.used += k;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_within_budget() {
+        let mut b = FaultBudget::new(10);
+        b.try_spend(4, Round::FIRST).unwrap();
+        b.try_spend(6, Round::new(2)).unwrap();
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.used(), 10);
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn overspend_rejected_and_unchanged() {
+        let mut b = FaultBudget::new(3);
+        b.try_spend(2, Round::FIRST).unwrap();
+        let err = b.try_spend(2, Round::new(2)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BudgetExceeded {
+                round: Round::new(2),
+                requested: 2,
+                remaining: 1
+            }
+        );
+        // Budget unchanged after the rejected attempt.
+        assert_eq!(b.remaining(), 1);
+    }
+
+    #[test]
+    fn zero_budget_allows_zero_spend() {
+        let mut b = FaultBudget::new(0);
+        assert!(b.can_afford(0));
+        b.try_spend(0, Round::FIRST).unwrap();
+        assert!(!b.can_afford(1));
+        assert!(b.try_spend(1, Round::FIRST).is_err());
+    }
+
+    #[test]
+    fn can_afford_boundary() {
+        let b = FaultBudget::new(5);
+        assert!(b.can_afford(5));
+        assert!(!b.can_afford(6));
+    }
+}

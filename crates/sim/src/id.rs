@@ -1,0 +1,177 @@
+//! Identifiers for processes and rounds.
+
+use std::fmt;
+
+/// The identity of a process in a simulated system of `n` processes.
+///
+/// Process ids are dense indices `0..n`; the simulator assigns them at
+/// construction and they never change. The newtype keeps them from being
+/// confused with counts or round numbers (`C-NEWTYPE`).
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from its dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> ProcessId {
+        ProcessId(index)
+    }
+
+    /// Returns the dense index of this process, in `0..n`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all ids of a system of `n` processes.
+    ///
+    /// ```
+    /// # use synran_sim::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> ProcessId {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A synchronous round number.
+///
+/// Rounds are numbered from **1**: round 1 is the first round in which
+/// messages are exchanged, matching the paper's indexing (the initial state
+/// is "the beginning of round 1", written α₁ in Section 3.6).
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::Round;
+///
+/// let r = Round::FIRST;
+/// assert_eq!(r.index(), 1);
+/// assert_eq!(r.next().index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Round(u32);
+
+impl Round {
+    /// The first round of an execution.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round from its 1-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is zero; rounds are 1-based.
+    #[must_use]
+    pub fn new(index: u32) -> Round {
+        assert!(index >= 1, "rounds are numbered from 1");
+        Round(index)
+    }
+
+    /// Returns the 1-based index of this round.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the round after this one.
+    #[must_use]
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// Returns the round before this one, or `None` for the first round.
+    #[must_use]
+    pub const fn prev(self) -> Option<Round> {
+        if self.0 > 1 {
+            Some(Round(self.0 - 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Round {
+    /// Defaults to [`Round::FIRST`].
+    fn default() -> Round {
+        Round::FIRST
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrips_through_usize() {
+        let p = ProcessId::new(42);
+        assert_eq!(usize::from(p), 42);
+        assert_eq!(ProcessId::from(42usize), p);
+    }
+
+    #[test]
+    fn all_yields_dense_range() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+        let ids: Vec<_> = ProcessId::all(4).map(ProcessId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rounds_are_one_based() {
+        assert_eq!(Round::FIRST.index(), 1);
+        assert_eq!(Round::FIRST.prev(), None);
+        assert_eq!(Round::new(5).prev(), Some(Round::new(4)));
+        assert_eq!(Round::new(5).next(), Round::new(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn round_zero_rejected() {
+        let _ = Round::new(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessId::new(7).to_string(), "P7");
+        assert_eq!(Round::new(3).to_string(), "round 3");
+    }
+
+    #[test]
+    fn round_ordering() {
+        assert!(Round::new(2) < Round::new(10));
+    }
+}

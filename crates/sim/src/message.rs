@@ -1,0 +1,265 @@
+//! Messages, send patterns, and inboxes.
+
+use crate::ProcessId;
+
+/// What a process emits in Phase A of a round.
+///
+/// The dominant pattern in the paper's protocols is a broadcast of the
+/// current preference to *all* processes, **including the sender itself**
+/// (SynRan counts its own `b_i` among the round's received values), so
+/// broadcast is represented compactly instead of as `n` unicasts.
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::{Bit, ProcessId, SendPattern};
+///
+/// let broadcast: SendPattern<Bit> = SendPattern::Broadcast(Bit::One);
+/// assert_eq!(broadcast.recipient_count(8), 8);
+///
+/// let unicast = SendPattern::To(vec![(ProcessId::new(2), Bit::Zero)]);
+/// assert_eq!(unicast.recipient_count(8), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendPattern<M> {
+    /// Send the same message to every process (including the sender).
+    Broadcast(M),
+    /// Send explicit per-recipient messages.
+    To(Vec<(ProcessId, M)>),
+    /// Send nothing this round.
+    Silent,
+}
+
+impl<M> SendPattern<M> {
+    /// Number of messages this pattern emits in a system of `n` processes.
+    #[must_use]
+    pub fn recipient_count(&self, n: usize) -> usize {
+        match self {
+            SendPattern::Broadcast(_) => n,
+            SendPattern::To(list) => list.len(),
+            SendPattern::Silent => 0,
+        }
+    }
+
+    /// Returns `true` if this pattern sends no messages.
+    #[must_use]
+    pub fn is_silent(&self) -> bool {
+        matches!(self, SendPattern::Silent) || self.recipient_count(1) == 0
+    }
+
+    /// The message addressed to `to`, if any.
+    #[must_use]
+    pub fn message_for(&self, to: ProcessId) -> Option<&M> {
+        match self {
+            SendPattern::Broadcast(m) => Some(m),
+            SendPattern::To(list) => list.iter().find(|(dst, _)| *dst == to).map(|(_, m)| m),
+            SendPattern::Silent => None,
+        }
+    }
+}
+
+impl<M> Default for SendPattern<M> {
+    /// Defaults to [`SendPattern::Silent`].
+    fn default() -> Self {
+        SendPattern::Silent
+    }
+}
+
+/// The messages a process received in one round, tagged by sender.
+///
+/// Senders appear in ascending id order, at most once each (synchronous
+/// rounds deliver at most one message per ordered pair of processes).
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::{Bit, Inbox, ProcessId};
+///
+/// let inbox = Inbox::from_messages(vec![
+///     (ProcessId::new(0), Bit::One),
+///     (ProcessId::new(2), Bit::Zero),
+/// ]);
+/// assert_eq!(inbox.len(), 2);
+/// assert_eq!(inbox.from(ProcessId::new(2)), Some(&Bit::Zero));
+/// assert_eq!(inbox.from(ProcessId::new(1)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inbox<M> {
+    msgs: Vec<(ProcessId, M)>,
+}
+
+impl<M> Inbox<M> {
+    /// Creates an empty inbox.
+    #[must_use]
+    pub fn empty() -> Inbox<M> {
+        Inbox { msgs: Vec::new() }
+    }
+
+    /// Creates an inbox from `(sender, message)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if senders are not strictly ascending —
+    /// the engine always delivers in id order, and downstream code relies
+    /// on it.
+    #[must_use]
+    pub fn from_messages(msgs: Vec<(ProcessId, M)>) -> Inbox<M> {
+        debug_assert!(
+            msgs.windows(2).all(|w| w[0].0 < w[1].0),
+            "inbox senders must be strictly ascending"
+        );
+        Inbox { msgs }
+    }
+
+    /// Number of messages received this round — the paper's `N_i^r`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Returns `true` if nothing was received.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// The message from `sender`, if one was delivered.
+    #[must_use]
+    pub fn from(&self, sender: ProcessId) -> Option<&M> {
+        self.msgs
+            .binary_search_by_key(&sender, |(s, _)| *s)
+            .ok()
+            .map(|i| &self.msgs[i].1)
+    }
+
+    /// Iterates over `(sender, message)` pairs in ascending sender order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (ProcessId, M)> {
+        self.msgs.iter()
+    }
+
+    /// Iterates over the messages alone, in ascending sender order.
+    pub fn messages(&self) -> impl Iterator<Item = &M> {
+        self.msgs.iter().map(|(_, m)| m)
+    }
+
+    /// Iterates over the senders alone, in ascending order.
+    pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.msgs.iter().map(|(s, _)| *s)
+    }
+
+    /// Counts messages satisfying a predicate.
+    pub fn count_where(&self, mut pred: impl FnMut(&M) -> bool) -> usize {
+        self.msgs.iter().filter(|(_, m)| pred(m)).count()
+    }
+}
+
+impl<M> Default for Inbox<M> {
+    fn default() -> Self {
+        Inbox::empty()
+    }
+}
+
+impl<'a, M> IntoIterator for &'a Inbox<M> {
+    type Item = &'a (ProcessId, M);
+    type IntoIter = std::slice::Iter<'a, (ProcessId, M)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
+    }
+}
+
+impl<M> FromIterator<(ProcessId, M)> for Inbox<M> {
+    /// Collects `(sender, message)` pairs into an inbox, sorting by sender.
+    fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Inbox<M> {
+        let mut msgs: Vec<(ProcessId, M)> = iter.into_iter().collect();
+        msgs.sort_by_key(|(s, _)| *s);
+        Inbox { msgs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bit;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let p: SendPattern<Bit> = SendPattern::Broadcast(Bit::One);
+        assert_eq!(p.recipient_count(5), 5);
+        for i in 0..5 {
+            assert_eq!(p.message_for(pid(i)), Some(&Bit::One));
+        }
+    }
+
+    #[test]
+    fn unicast_targets_only_listed() {
+        let p = SendPattern::To(vec![(pid(1), Bit::Zero), (pid(3), Bit::One)]);
+        assert_eq!(p.recipient_count(5), 2);
+        assert_eq!(p.message_for(pid(1)), Some(&Bit::Zero));
+        assert_eq!(p.message_for(pid(3)), Some(&Bit::One));
+        assert_eq!(p.message_for(pid(0)), None);
+    }
+
+    #[test]
+    fn silent_sends_nothing() {
+        let p: SendPattern<Bit> = SendPattern::Silent;
+        assert!(p.is_silent());
+        assert_eq!(p.recipient_count(10), 0);
+        assert_eq!(p.message_for(pid(0)), None);
+        assert_eq!(SendPattern::<Bit>::default(), SendPattern::Silent);
+    }
+
+    #[test]
+    fn empty_to_list_is_silent() {
+        let p: SendPattern<Bit> = SendPattern::To(vec![]);
+        assert!(p.is_silent());
+    }
+
+    #[test]
+    fn inbox_lookup_and_counts() {
+        let inbox = Inbox::from_messages(vec![
+            (pid(0), Bit::One),
+            (pid(2), Bit::Zero),
+            (pid(4), Bit::One),
+        ]);
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.from(pid(2)), Some(&Bit::Zero));
+        assert_eq!(inbox.from(pid(3)), None);
+        assert_eq!(inbox.count_where(|m| m.is_one()), 2);
+        assert_eq!(inbox.count_where(|m| m.is_zero()), 1);
+        let senders: Vec<_> = inbox.senders().map(ProcessId::index).collect();
+        assert_eq!(senders, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn inbox_from_iter_sorts() {
+        let inbox: Inbox<Bit> = vec![(pid(3), Bit::One), (pid(1), Bit::Zero)]
+            .into_iter()
+            .collect();
+        let senders: Vec<_> = inbox.senders().map(ProcessId::index).collect();
+        assert_eq!(senders, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_inbox() {
+        let inbox: Inbox<Bit> = Inbox::empty();
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.len(), 0);
+        assert_eq!(inbox.from(pid(0)), None);
+        assert_eq!(Inbox::<Bit>::default(), inbox);
+    }
+
+    #[test]
+    fn inbox_iteration_matches_contents() {
+        let inbox = Inbox::from_messages(vec![(pid(0), Bit::Zero), (pid(1), Bit::One)]);
+        let collected: Vec<_> = (&inbox).into_iter().cloned().collect();
+        assert_eq!(collected, vec![(pid(0), Bit::Zero), (pid(1), Bit::One)]);
+        let msgs: Vec<_> = inbox.messages().copied().collect();
+        assert_eq!(msgs, vec![Bit::Zero, Bit::One]);
+    }
+}

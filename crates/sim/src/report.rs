@@ -1,0 +1,182 @@
+//! Execution summaries.
+
+use crate::{Bit, Metrics, ProcessId, ProcessStatus, Trace};
+
+/// The outcome of a completed (or interrupted) execution.
+///
+/// Produced by [`World::run`](crate::World::run) and
+/// [`World::report`](crate::World::report). The report owns its data — it
+/// stays valid after the world is dropped or reused.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    decisions: Vec<Option<Bit>>,
+    statuses: Vec<ProcessStatus>,
+    metrics: Metrics,
+    trace: Trace,
+}
+
+impl RunReport {
+    pub(crate) fn new(
+        decisions: Vec<Option<Bit>>,
+        statuses: Vec<ProcessStatus>,
+        metrics: Metrics,
+        trace: Trace,
+    ) -> RunReport {
+        RunReport {
+            decisions,
+            statuses,
+            metrics,
+            trace,
+        }
+    }
+
+    /// Rounds fully executed.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.metrics.rounds_completed()
+    }
+
+    /// Final decisions, indexed by process.
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<Bit>] {
+        &self.decisions
+    }
+
+    /// The decision of one process, if it decided.
+    #[must_use]
+    pub fn decision_of(&self, pid: ProcessId) -> Option<Bit> {
+        self.decisions.get(pid.index()).copied().flatten()
+    }
+
+    /// Final lifecycle status of every process.
+    #[must_use]
+    pub fn statuses(&self) -> &[ProcessStatus] {
+        &self.statuses
+    }
+
+    /// Processes the adversary failed.
+    #[must_use]
+    pub fn failed_count(&self) -> usize {
+        self.statuses.iter().filter(|s| s.is_failed()).count()
+    }
+
+    /// Execution metrics (kills per round, message counts, decision times).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Event trace (empty unless tracing was enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Ids of processes that were **not** failed by the adversary — the
+    /// "non-faulty" processes of the consensus conditions. Includes halted
+    /// processes and processes still alive when the run stopped.
+    pub fn non_faulty(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.statuses.iter().enumerate().filter(|&(_i, s)| !s.is_failed()).map(|(i, _s)| ProcessId::new(i))
+    }
+
+    /// If every non-faulty process decided the same value, returns it.
+    ///
+    /// Returns `None` if any non-faulty process is undecided or two
+    /// non-faulty processes disagree — i.e. exactly when the Agreement
+    /// condition (as observed in this run) fails. If *every* process was
+    /// failed, agreement holds vacuously and this returns `None` as well
+    /// (there is no value to report).
+    #[must_use]
+    pub fn unanimous_decision(&self) -> Option<Bit> {
+        let mut value: Option<Bit> = None;
+        for pid in self.non_faulty() {
+            match self.decision_of(pid) {
+                None => return None,
+                Some(v) => match value {
+                    None => value = Some(v),
+                    Some(prev) if prev != v => return None,
+                    Some(_) => {}
+                },
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Round;
+
+    fn report(
+        decisions: Vec<Option<Bit>>,
+        statuses: Vec<ProcessStatus>,
+    ) -> RunReport {
+        let n = decisions.len();
+        RunReport::new(decisions, statuses, Metrics::new(n), Trace::disabled())
+    }
+
+    #[test]
+    fn unanimous_when_all_agree() {
+        let r = report(
+            vec![Some(Bit::One), Some(Bit::One), Some(Bit::One)],
+            vec![ProcessStatus::Halted(Round::new(2)); 3],
+        );
+        assert_eq!(r.unanimous_decision(), Some(Bit::One));
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let r = report(
+            vec![Some(Bit::One), Some(Bit::Zero)],
+            vec![ProcessStatus::Halted(Round::new(1)); 2],
+        );
+        assert_eq!(r.unanimous_decision(), None);
+    }
+
+    #[test]
+    fn failed_processes_do_not_block_agreement() {
+        let r = report(
+            vec![Some(Bit::Zero), None, Some(Bit::Zero)],
+            vec![
+                ProcessStatus::Halted(Round::new(3)),
+                ProcessStatus::Failed(Round::new(1)),
+                ProcessStatus::Halted(Round::new(3)),
+            ],
+        );
+        assert_eq!(r.unanimous_decision(), Some(Bit::Zero));
+        assert_eq!(r.failed_count(), 1);
+        assert_eq!(r.non_faulty().count(), 2);
+    }
+
+    #[test]
+    fn undecided_non_faulty_blocks_agreement() {
+        let r = report(
+            vec![Some(Bit::Zero), None],
+            vec![ProcessStatus::Halted(Round::new(1)), ProcessStatus::Alive],
+        );
+        assert_eq!(r.unanimous_decision(), None);
+    }
+
+    #[test]
+    fn all_failed_is_vacuous() {
+        let r = report(
+            vec![None, None],
+            vec![ProcessStatus::Failed(Round::new(1)); 2],
+        );
+        assert_eq!(r.unanimous_decision(), None);
+        assert_eq!(r.non_faulty().count(), 0);
+    }
+
+    #[test]
+    fn decision_lookup() {
+        let r = report(
+            vec![Some(Bit::One), None],
+            vec![ProcessStatus::Alive, ProcessStatus::Alive],
+        );
+        assert_eq!(r.decision_of(ProcessId::new(0)), Some(Bit::One));
+        assert_eq!(r.decision_of(ProcessId::new(1)), None);
+        // Out-of-range lookups are None, not panics.
+        assert_eq!(r.decision_of(ProcessId::new(9)), None);
+    }
+}

@@ -1,0 +1,204 @@
+//! Tiny processes for tests, docs, and downstream crates' test suites.
+//!
+//! These are deliberately trivial protocols — they exist so that engine
+//! behaviour (phases, kills, delivery filters, budgets) can be tested
+//! without dragging in a real consensus protocol.
+
+use crate::{Bit, Context, Inbox, Process, SendPattern};
+
+/// Broadcasts its input once, then decides it and halts.
+///
+/// The simplest possible protocol: **not** a consensus protocol (no
+/// agreement), but enough to exercise one full engine round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Echo {
+    input: Bit,
+    decided: bool,
+}
+
+impl Echo {
+    /// Creates an echo process with the given input.
+    #[must_use]
+    pub fn new(input: Bit) -> Echo {
+        Echo {
+            input,
+            decided: false,
+        }
+    }
+}
+
+impl Process for Echo {
+    type Msg = Bit;
+
+    fn send(&mut self, _ctx: &mut Context<'_>) -> SendPattern<Bit> {
+        SendPattern::Broadcast(self.input)
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, _inbox: &Inbox<Bit>) {
+        self.decided = true;
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        self.decided.then_some(self.input)
+    }
+
+    fn halted(&self) -> bool {
+        self.decided
+    }
+}
+
+/// Broadcasts a fixed bit for a fixed number of rounds, then decides it and
+/// halts. Records how many messages it saw in the last round, which lets
+/// engine tests observe delivery filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountDown {
+    remaining: u32,
+    value: Bit,
+    last_inbox_len: usize,
+}
+
+impl CountDown {
+    /// Creates a process that runs for `rounds` rounds broadcasting `value`.
+    #[must_use]
+    pub fn new(rounds: u32, value: Bit) -> CountDown {
+        CountDown {
+            remaining: rounds,
+            value,
+            last_inbox_len: 0,
+        }
+    }
+
+    /// Messages received in the most recent round.
+    #[must_use]
+    pub fn last_inbox_len(&self) -> usize {
+        self.last_inbox_len
+    }
+}
+
+impl Process for CountDown {
+    type Msg = Bit;
+
+    fn send(&mut self, _ctx: &mut Context<'_>) -> SendPattern<Bit> {
+        SendPattern::Broadcast(self.value)
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, inbox: &Inbox<Bit>) {
+        self.last_inbox_len = inbox.len();
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        (self.remaining == 0).then_some(self.value)
+    }
+
+    fn halted(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Flips a fair coin every round and broadcasts it; decides the first coin
+/// it ever flips, halting after `rounds` rounds. Used to exercise the
+/// deterministic per-(process, round) randomness streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoinCaller {
+    rounds: u32,
+    elapsed: u32,
+    first: Option<Bit>,
+    history: Vec<Bit>,
+}
+
+impl CoinCaller {
+    /// Creates a coin caller that participates for `rounds` rounds.
+    #[must_use]
+    pub fn new(rounds: u32) -> CoinCaller {
+        CoinCaller {
+            rounds,
+            elapsed: 0,
+            first: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Every coin flipped so far, in round order.
+    #[must_use]
+    pub fn history(&self) -> &[Bit] {
+        &self.history
+    }
+}
+
+impl Process for CoinCaller {
+    type Msg = Bit;
+
+    fn send(&mut self, ctx: &mut Context<'_>) -> SendPattern<Bit> {
+        let coin = ctx.rng().bit();
+        self.history.push(coin);
+        if self.first.is_none() {
+            self.first = Some(coin);
+        }
+        SendPattern::Broadcast(coin)
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, _inbox: &Inbox<Bit>) {
+        self.elapsed += 1;
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        self.first
+    }
+
+    fn halted(&self) -> bool {
+        self.elapsed >= self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Passive, SimConfig, World};
+
+    #[test]
+    fn echo_decides_input() {
+        let mut w = World::new(SimConfig::new(3).seed(0), |pid| {
+            Echo::new(Bit::from(pid.index() == 0))
+        })
+        .unwrap();
+        let report = w.run(&mut Passive).unwrap();
+        assert_eq!(report.decision_of(crate::ProcessId::new(0)), Some(Bit::One));
+        assert_eq!(report.decision_of(crate::ProcessId::new(1)), Some(Bit::Zero));
+    }
+
+    #[test]
+    fn countdown_runs_for_exactly_n_rounds() {
+        let mut w = World::new(SimConfig::new(2).seed(0), |_| CountDown::new(7, Bit::One)).unwrap();
+        let report = w.run(&mut Passive).unwrap();
+        assert_eq!(report.rounds(), 7);
+    }
+
+    #[test]
+    fn coin_caller_coins_are_reproducible_per_seed() {
+        let run = |seed| {
+            let mut w =
+                World::new(SimConfig::new(4).seed(seed), |_| CoinCaller::new(6)).unwrap();
+            w.run(&mut Passive).unwrap();
+            w.processes()
+                .map(|(_, p, _)| p.history().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn coin_caller_processes_flip_independently() {
+        let mut w = World::new(SimConfig::new(8).seed(123), |_| CoinCaller::new(16)).unwrap();
+        w.run(&mut Passive).unwrap();
+        let histories: Vec<_> = w.processes().map(|(_, p, _)| p.history().to_vec()).collect();
+        // With 8 processes × 16 fair coins, identical histories are
+        // overwhelmingly unlikely; equality would indicate stream reuse.
+        for i in 0..histories.len() {
+            for j in (i + 1)..histories.len() {
+                assert_ne!(histories[i], histories[j], "processes {i} and {j} share coins");
+            }
+        }
+    }
+}

@@ -1,0 +1,860 @@
+//! The synchronous world: round engine, fault enforcement, and forking.
+
+use crate::{
+    Adversary, Bit, Context, DeliveryFilter, FaultBudget, Inbox, Intervention, Metrics, Process,
+    ProcessId, Round, RunReport, SendPattern, SimConfig, SimError, SimRng, StreamPhase, Trace,
+    trace::Event,
+};
+
+/// Lifecycle of a process within an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessStatus {
+    /// Participating normally.
+    Alive,
+    /// Voluntarily stopped in the given round (decided and terminated).
+    Halted(Round),
+    /// Failed by the adversary in the given round.
+    Failed(Round),
+}
+
+impl ProcessStatus {
+    /// `true` for processes still stepping each round.
+    #[must_use]
+    pub fn is_alive(self) -> bool {
+        matches!(self, ProcessStatus::Alive)
+    }
+
+    /// `true` for processes the adversary failed.
+    #[must_use]
+    pub fn is_failed(self) -> bool {
+        matches!(self, ProcessStatus::Failed(_))
+    }
+
+    /// `true` for processes that terminated voluntarily.
+    #[must_use]
+    pub fn is_halted(self) -> bool {
+        matches!(self, ProcessStatus::Halted(_))
+    }
+}
+
+/// Which half of the round the world is paused at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Phase A (computing and sending) has not run yet this round.
+    BeforeSend,
+    /// Phase A ran; outboxes are queued; awaiting the adversary and
+    /// delivery (Phase B).
+    BeforeDeliver,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::BeforeSend => "BeforeSend",
+            Phase::BeforeDeliver => "BeforeDeliver",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<P> {
+    proc: P,
+    status: ProcessStatus,
+}
+
+/// A complete synchronous execution in progress.
+///
+/// The world is an explicit state machine so that adversaries can pause it
+/// mid-round: each round is [`World::phase_a`] (every alive process flips
+/// coins and queues messages) followed by [`World::deliver`] (the adversary's
+/// intervention is validated and applied, surviving messages delivered, and
+/// every alive process consumes its inbox). [`World::run`] drives both
+/// phases to completion under a given adversary.
+///
+/// Worlds are `Clone` when the process type is, and [`World::fork`] produces
+/// an identical copy with fresh future randomness — the primitive the
+/// valency-estimating adversaries of `synran-adversary` are built on.
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::{Passive, SimConfig, World};
+/// use synran_sim::testing::Echo;
+///
+/// let cfg = SimConfig::new(8).seed(7);
+/// let mut world = World::new(cfg, |pid| Echo::new(synran_sim::Bit::from(pid.index() % 2 == 0)))?;
+/// let report = world.run(&mut Passive)?;
+/// assert_eq!(report.rounds(), 1);
+/// # Ok::<(), synran_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct World<P: Process> {
+    cfg: SimConfig,
+    round: Round,
+    phase: Phase,
+    slots: Vec<Slot<P>>,
+    outboxes: Vec<Option<SendPattern<P::Msg>>>,
+    budget: FaultBudget,
+    metrics: Metrics,
+    trace: Trace,
+    seed: u64,
+}
+
+impl<P: Process> World<P> {
+    /// Builds a world of `cfg.n()` processes, constructing each with
+    /// `factory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration fails
+    /// [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig, mut factory: impl FnMut(ProcessId) -> P) -> Result<World<P>, SimError> {
+        cfg.validate()?;
+        let n = cfg.n();
+        let slots = ProcessId::all(n)
+            .map(|pid| Slot {
+                proc: factory(pid),
+                status: ProcessStatus::Alive,
+            })
+            .collect();
+        let trace = if cfg.trace_enabled() {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        Ok(World {
+            seed: cfg.seed_value(),
+            budget: FaultBudget::new(cfg.t()),
+            metrics: Metrics::new(n),
+            trace,
+            round: Round::FIRST,
+            phase: Phase::BeforeSend,
+            outboxes: (0..n).map(|_| None).collect(),
+            slots,
+            cfg,
+        })
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// System size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.cfg.n()
+    }
+
+    /// The configuration this world was built from.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The round currently executing (or about to execute).
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// `true` while the world is paused between Phase A and Phase B.
+    #[must_use]
+    pub fn awaiting_delivery(&self) -> bool {
+        self.phase == Phase::BeforeDeliver
+    }
+
+    /// The fault budget (total, used, remaining).
+    #[must_use]
+    pub fn budget(&self) -> &FaultBudget {
+        &self.budget
+    }
+
+    /// Execution metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The event trace (empty unless tracing was enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Lifecycle status of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn status(&self, pid: ProcessId) -> ProcessStatus {
+        self.slots[pid.index()].status
+    }
+
+    /// Full-information access to the local state of `pid`.
+    ///
+    /// This is what makes the adversary *full information*: it may read
+    /// every local variable and coin of every process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn process(&self, pid: ProcessId) -> &P {
+        &self.slots[pid.index()].proc
+    }
+
+    /// Iterates over `(pid, process, status)` for all processes.
+    pub fn processes(&self) -> impl Iterator<Item = (ProcessId, &P, ProcessStatus)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ProcessId::new(i), &s.proc, s.status))
+    }
+
+    /// Ids of all processes still participating.
+    pub fn alive_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.slots.iter().enumerate().filter(|&(_i, s)| s.status.is_alive()).map(|(i, _s)| ProcessId::new(i))
+    }
+
+    /// Number of processes still participating.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.status.is_alive()).count()
+    }
+
+    /// The message pattern `pid` queued this round, if the world is paused
+    /// between phases and `pid` sent something.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn outbox(&self, pid: ProcessId) -> Option<&SendPattern<P::Msg>> {
+        self.outboxes[pid.index()].as_ref()
+    }
+
+    /// The master seed of this world.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` once no process is actively participating (every process has
+    /// halted or been failed).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.slots.iter().all(|s| !s.status.is_alive())
+    }
+
+    /// Current decisions, indexed by process.
+    #[must_use]
+    pub fn decisions(&self) -> Vec<Option<Bit>> {
+        self.slots.iter().map(|s| s.proc.decision()).collect()
+    }
+
+    // ----- stepping --------------------------------------------------------
+
+    /// Runs Phase A of the current round: every alive process flips its
+    /// coins and queues its messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PhaseViolation`] if Phase A already ran this
+    /// round, or [`SimError::InvalidRecipient`] if a process addressed a
+    /// nonexistent or duplicated recipient.
+    pub fn phase_a(&mut self) -> Result<(), SimError> {
+        if self.phase != Phase::BeforeSend {
+            return Err(SimError::PhaseViolation {
+                operation: "run phase A",
+                phase: self.phase.name(),
+            });
+        }
+        let round = self.round;
+        self.trace.record(|| Event::RoundStarted(round));
+        let n = self.n();
+        for i in 0..n {
+            if !self.slots[i].status.is_alive() {
+                self.outboxes[i] = None;
+                continue;
+            }
+            let pid = ProcessId::new(i);
+            let mut rng = SimRng::stream(self.seed, pid, round, StreamPhase::Send);
+            let mut ctx = Context::new(pid, n, round, &mut rng);
+            let pattern = self.slots[i].proc.send(&mut ctx);
+            validate_pattern(&pattern, pid, n)?;
+            self.note_decision(pid);
+            self.outboxes[i] = Some(pattern);
+        }
+        self.phase = Phase::BeforeDeliver;
+        Ok(())
+    }
+
+    /// Runs Phase B of the current round: validates and applies the
+    /// adversary's `intervention`, delivers surviving messages, and lets
+    /// every alive process consume its inbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PhaseViolation`] if Phase A has not run,
+    /// [`SimError::BudgetExceeded`] / [`SimError::NotAlive`] /
+    /// [`SimError::UnknownProcess`] / [`SimError::DuplicateVictim`] if the
+    /// intervention is illegal. On any error the world is unchanged.
+    pub fn deliver(&mut self, intervention: Intervention) -> Result<(), SimError> {
+        if self.phase != Phase::BeforeDeliver {
+            return Err(SimError::PhaseViolation {
+                operation: "deliver",
+                phase: self.phase.name(),
+            });
+        }
+        let round = self.round;
+        let n = self.n();
+
+        // Validate the intervention fully before mutating anything.
+        let kills = intervention.kills();
+        for (idx, kill) in kills.iter().enumerate() {
+            if kill.victim.index() >= n {
+                return Err(SimError::UnknownProcess {
+                    pid: kill.victim,
+                    n,
+                });
+            }
+            if !self.slots[kill.victim.index()].status.is_alive() {
+                return Err(SimError::NotAlive {
+                    pid: kill.victim,
+                    round,
+                });
+            }
+            if kills[..idx].iter().any(|k| k.victim == kill.victim) {
+                return Err(SimError::DuplicateVictim { pid: kill.victim });
+            }
+        }
+        self.budget.try_spend(kills.len(), round)?;
+
+        // Apply the kills.
+        let mut filters: Vec<Option<&DeliveryFilter>> = vec![None; n];
+        for kill in kills {
+            self.slots[kill.victim.index()].status = ProcessStatus::Failed(round);
+            filters[kill.victim.index()] = Some(&kill.delivered);
+        }
+        self.metrics.on_kills(round, kills.len());
+
+        // Deliver: walk senders in id order so each inbox stays sorted.
+        let mut inboxes: Vec<Vec<(ProcessId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut delivered: u64 = 0;
+        let mut suppressed: u64 = 0;
+        let mut per_kill_stats: Vec<(ProcessId, usize, usize)> = Vec::new();
+        // Indexing several parallel arrays; an enumerate chain would obscure it.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..n {
+            let Some(pattern) = self.outboxes[s].take() else {
+                continue;
+            };
+            let sender = ProcessId::new(s);
+            let filter = filters[s];
+            let mut sent_here = 0usize;
+            let mut cut_here = 0usize;
+            let mut dispatch = |to: ProcessId, msg: P::Msg| {
+                let allowed = filter.is_none_or(|f| f.allows(to));
+                if allowed {
+                    // Dead or halted recipients silently drop mail; the
+                    // message still "arrived" per the reliable-links model.
+                    if self.slots[to.index()].status.is_alive() {
+                        inboxes[to.index()].push((sender, msg));
+                    }
+                    sent_here += 1;
+                } else {
+                    cut_here += 1;
+                }
+            };
+            match pattern {
+                SendPattern::Broadcast(m) => {
+                    for r in 0..n {
+                        dispatch(ProcessId::new(r), m.clone());
+                    }
+                }
+                SendPattern::To(list) => {
+                    for (to, m) in list {
+                        dispatch(to, m);
+                    }
+                }
+                SendPattern::Silent => {}
+            }
+            delivered += sent_here as u64;
+            suppressed += cut_here as u64;
+            if filter.is_some() {
+                per_kill_stats.push((sender, sent_here, cut_here));
+            }
+        }
+        self.metrics.on_delivered(delivered);
+        self.metrics.on_suppressed(suppressed);
+        for (victim, d, s) in per_kill_stats {
+            self.trace.record(|| Event::Killed {
+                victim,
+                round,
+                delivered: d,
+                suppressed: s,
+            });
+        }
+        // Killed processes with no outbox recorded (e.g. silent senders)
+        // still deserve a trace event.
+        if self.trace.is_enabled() {
+            for kill in kills {
+                let already = self
+                    .trace
+                    .in_round(round)
+                    .any(|e| matches!(e, Event::Killed { victim, .. } if *victim == kill.victim));
+                if !already {
+                    self.trace.record(|| Event::Killed {
+                        victim: kill.victim,
+                        round,
+                        delivered: 0,
+                        suppressed: 0,
+                    });
+                }
+            }
+        }
+
+        // Receives: every still-alive process consumes its inbox.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if !self.slots[i].status.is_alive() {
+                continue;
+            }
+            let pid = ProcessId::new(i);
+            let inbox = Inbox::from_messages(std::mem::take(&mut inboxes[i]));
+            let mut rng = SimRng::stream(self.seed, pid, round, StreamPhase::Receive);
+            let mut ctx = Context::new(pid, n, round, &mut rng);
+            self.slots[i].proc.receive(&mut ctx, &inbox);
+            self.note_decision(pid);
+            if self.slots[i].proc.halted() {
+                self.slots[i].status = ProcessStatus::Halted(round);
+                self.trace.record(|| Event::Halted { pid, round });
+            }
+        }
+
+        self.metrics.on_round_completed();
+        self.trace.record(|| Event::RoundCompleted {
+            round,
+            messages_delivered: delivered,
+        });
+        self.round = round.next();
+        self.phase = Phase::BeforeSend;
+        Ok(())
+    }
+
+    /// Drives the world to completion under `adversary`.
+    ///
+    /// Works from any phase, so a mid-round [`fork`](World::fork) can be
+    /// resumed directly: if Phase A already ran, the adversary is consulted
+    /// for the pending round first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stepping error, and returns
+    /// [`SimError::MaxRoundsExceeded`] if the execution outlives the
+    /// configured limit.
+    pub fn run<A: Adversary<P>>(&mut self, adversary: &mut A) -> Result<RunReport, SimError> {
+        while !self.finished() {
+            if self.round.index() > self.cfg.max_rounds_value() {
+                return Err(SimError::MaxRoundsExceeded {
+                    limit: self.cfg.max_rounds_value(),
+                });
+            }
+            if self.phase == Phase::BeforeSend {
+                self.phase_a()?;
+            }
+            let intervention = adversary.intervene(self);
+            self.deliver(intervention)?;
+        }
+        Ok(self.report())
+    }
+
+    /// Summarises the execution so far.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        RunReport::new(
+            self.slots.iter().map(|s| s.proc.decision()).collect(),
+            self.slots.iter().map(|s| s.status).collect(),
+            self.metrics.clone(),
+            self.trace.clone(),
+        )
+    }
+
+    fn note_decision(&mut self, pid: ProcessId) {
+        if let Some(value) = self.slots[pid.index()].proc.decision() {
+            if self.metrics.decided_at(pid).is_none() {
+                let round = self.round;
+                self.metrics.on_decided(pid, round, value);
+                self.trace.record(|| Event::Decided { pid, round, value });
+            }
+        }
+    }
+}
+
+impl<P> World<P>
+where
+    P: Process + Clone,
+    P::Msg: Clone,
+{
+    /// Clones this world, rebasing all *future* randomness on `seed`.
+    ///
+    /// The copy has identical process states, statuses, queued outboxes,
+    /// budget, and round position — but coins not yet flipped will differ
+    /// between forks with different seeds. This is the primitive behind
+    /// Monte-Carlo valency estimation: fork the paused world many times,
+    /// resume each under a reference adversary, and observe the empirical
+    /// distribution of decisions.
+    #[must_use]
+    pub fn fork(&self, seed: u64) -> World<P> {
+        let mut copy = self.clone();
+        copy.seed = seed;
+        // Forked futures are throwaway explorations; tracing them would
+        // dominate memory in valency estimation.
+        copy.trace = Trace::disabled();
+        copy
+    }
+
+    /// Like [`fork`](World::fork), but the copy's round limit is capped at
+    /// `horizon` rounds past the current round.
+    ///
+    /// Valency probes use this to bound exploration cost: a fork that has
+    /// not decided within the horizon reports
+    /// [`SimError::MaxRoundsExceeded`], which estimators treat as
+    /// "undecided".
+    #[must_use]
+    pub fn fork_bounded(&self, seed: u64, horizon: u32) -> World<P> {
+        let mut copy = self.fork(seed);
+        let limit = self
+            .round
+            .index()
+            .saturating_add(horizon)
+            .min(self.cfg.max_rounds_value());
+        copy.cfg = self.cfg.clone().max_rounds(limit.max(self.round.index()));
+        copy
+    }
+}
+
+fn validate_pattern<M>(
+    pattern: &SendPattern<M>,
+    from: ProcessId,
+    n: usize,
+) -> Result<(), SimError> {
+    if let SendPattern::To(list) = pattern {
+        for (idx, (to, _)) in list.iter().enumerate() {
+            if to.index() >= n {
+                return Err(SimError::InvalidRecipient { from, to: *to, n });
+            }
+            if list[..idx].iter().any(|(t, _)| t == to) {
+                // At most one message per ordered pair per round.
+                return Err(SimError::InvalidRecipient { from, to: *to, n });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{CountDown, Echo};
+    use crate::Passive;
+
+    fn echo_world(n: usize, seed: u64) -> World<Echo> {
+        World::new(SimConfig::new(n).seed(seed), |pid| {
+            Echo::new(Bit::from(pid.index() % 2 == 0))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn passive_run_completes_in_one_round() {
+        let mut w = echo_world(5, 1);
+        let report = w.run(&mut Passive).unwrap();
+        assert_eq!(report.rounds(), 1);
+        assert!(w.finished());
+        for pid in ProcessId::all(5) {
+            assert!(report.decision_of(pid).is_some());
+        }
+    }
+
+    #[test]
+    fn phase_order_enforced() {
+        let mut w = echo_world(3, 2);
+        // deliver before phase_a is a phase violation
+        let err = w.deliver(Intervention::none()).unwrap_err();
+        assert!(matches!(err, SimError::PhaseViolation { .. }));
+        w.phase_a().unwrap();
+        // phase_a twice is a phase violation
+        let err = w.phase_a().unwrap_err();
+        assert!(matches!(err, SimError::PhaseViolation { .. }));
+        w.deliver(Intervention::none()).unwrap();
+    }
+
+    #[test]
+    fn kills_respect_budget() {
+        let mut w = World::new(SimConfig::new(4).faults(1).seed(3), |_| {
+            CountDown::new(3, Bit::One)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        let iv = Intervention::kill_all_silent([ProcessId::new(0), ProcessId::new(1)]);
+        let err = w.deliver(iv).unwrap_err();
+        assert!(matches!(err, SimError::BudgetExceeded { .. }));
+        // The failed attempt left the world consistent: a legal kill works.
+        let iv = Intervention::kill_all_silent([ProcessId::new(0)]);
+        w.deliver(iv).unwrap();
+        assert_eq!(w.alive_count(), 3);
+        assert!(w.status(ProcessId::new(0)).is_failed());
+    }
+
+    #[test]
+    fn cannot_kill_dead_or_unknown_or_twice() {
+        let mut w = World::new(SimConfig::new(3).faults(3).seed(4), |_| {
+            CountDown::new(5, Bit::Zero)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        let unknown = Intervention::kill_all_silent([ProcessId::new(9)]);
+        assert!(matches!(
+            w.deliver(unknown).unwrap_err(),
+            SimError::UnknownProcess { .. }
+        ));
+        let dup = Intervention::kill_all_silent([ProcessId::new(1), ProcessId::new(1)]);
+        assert!(matches!(
+            w.deliver(dup).unwrap_err(),
+            SimError::DuplicateVictim { .. }
+        ));
+        w.deliver(Intervention::kill_all_silent([ProcessId::new(1)]))
+            .unwrap();
+        w.phase_a().unwrap();
+        let dead = Intervention::kill_all_silent([ProcessId::new(1)]);
+        assert!(matches!(
+            w.deliver(dead).unwrap_err(),
+            SimError::NotAlive { .. }
+        ));
+    }
+
+    #[test]
+    fn partial_delivery_filters_messages() {
+        // Three countdown processes broadcasting their bit; kill P0 but let
+        // only P2 hear its last message.
+        let mut w = World::new(SimConfig::new(3).faults(1).seed(5), |_| {
+            CountDown::new(5, Bit::One)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        let iv = Intervention::new().kill(
+            ProcessId::new(0),
+            DeliveryFilter::To(vec![ProcessId::new(2)]),
+        );
+        w.deliver(iv).unwrap();
+        let p1 = w.process(ProcessId::new(1));
+        let p2 = w.process(ProcessId::new(2));
+        // P1 heard everyone but P0; P2 heard everyone.
+        assert_eq!(p1.last_inbox_len(), 2);
+        assert_eq!(p2.last_inbox_len(), 3);
+    }
+
+    #[test]
+    fn dead_processes_send_nothing_later() {
+        let mut w = World::new(SimConfig::new(3).faults(1).seed(6), |_| {
+            CountDown::new(5, Bit::One)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        w.deliver(Intervention::kill_all_silent([ProcessId::new(0)]))
+            .unwrap();
+        w.phase_a().unwrap();
+        assert!(w.outbox(ProcessId::new(0)).is_none());
+        assert!(w.outbox(ProcessId::new(1)).is_some());
+        w.deliver(Intervention::none()).unwrap();
+        // Survivors now hear only each other.
+        assert_eq!(w.process(ProcessId::new(1)).last_inbox_len(), 2);
+    }
+
+    #[test]
+    fn same_seed_reproduces_execution() {
+        let run = |seed: u64| {
+            let mut w = World::new(SimConfig::new(6).seed(seed).trace(true), |pid| {
+                Echo::new(Bit::from(pid.index() % 2 == 0))
+            })
+            .unwrap();
+            let report = w.run(&mut Passive).unwrap();
+            (report.decisions().to_vec(), w.trace().events().to_vec())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn fork_preserves_state_and_changes_future() {
+        let mut w = World::new(SimConfig::new(4).faults(0).seed(7), |_| {
+            CountDown::new(4, Bit::One)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        w.deliver(Intervention::none()).unwrap();
+        let mut f1 = w.fork(100);
+        let mut f2 = w.fork(100);
+        let mut f3 = w.fork(101);
+        assert_eq!(f1.round(), w.round());
+        assert_eq!(f1.alive_count(), w.alive_count());
+        let r1 = f1.run(&mut Passive).unwrap();
+        let r2 = f2.run(&mut Passive).unwrap();
+        let r3 = f3.run(&mut Passive).unwrap();
+        // Same fork seed ⇒ identical future; CountDown is deterministic so
+        // all futures agree on rounds, but the decision streams must match
+        // exactly for equal seeds.
+        assert_eq!(r1.decisions(), r2.decisions());
+        assert_eq!(r1.rounds(), r3.rounds());
+    }
+
+    #[test]
+    fn max_rounds_guard_fires() {
+        /// A process that never halts.
+        #[derive(Debug, Clone)]
+        struct Forever;
+        impl Process for Forever {
+            type Msg = Bit;
+            fn send(&mut self, _: &mut Context<'_>) -> SendPattern<Bit> {
+                SendPattern::Silent
+            }
+            fn receive(&mut self, _: &mut Context<'_>, _: &Inbox<Bit>) {}
+            fn decision(&self) -> Option<Bit> {
+                None
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let mut w = World::new(SimConfig::new(2).max_rounds(10).seed(1), |_| Forever).unwrap();
+        let err = w.run(&mut Passive).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn invalid_recipient_rejected() {
+        #[derive(Debug, Clone)]
+        struct BadSender;
+        impl Process for BadSender {
+            type Msg = Bit;
+            fn send(&mut self, _: &mut Context<'_>) -> SendPattern<Bit> {
+                SendPattern::To(vec![(ProcessId::new(99), Bit::One)])
+            }
+            fn receive(&mut self, _: &mut Context<'_>, _: &Inbox<Bit>) {}
+            fn decision(&self) -> Option<Bit> {
+                None
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let mut w = World::new(SimConfig::new(2).seed(1), |_| BadSender).unwrap();
+        let err = w.phase_a().unwrap_err();
+        assert!(matches!(err, SimError::InvalidRecipient { .. }));
+    }
+
+    #[test]
+    fn killing_everyone_finishes_run() {
+        struct Reaper;
+        impl Adversary<CountDown> for Reaper {
+            fn intervene(&mut self, world: &World<CountDown>) -> Intervention {
+                Intervention::kill_all_silent(world.alive_ids().collect::<Vec<_>>())
+            }
+        }
+        let mut w = World::new(SimConfig::new(3).faults(3).seed(8), |_| {
+            CountDown::new(10, Bit::Zero)
+        })
+        .unwrap();
+        let report = w.run(&mut Reaper).unwrap();
+        assert_eq!(report.rounds(), 1);
+        assert!(report.statuses().iter().all(|s| s.is_failed()));
+    }
+
+    #[test]
+    fn fork_bounded_caps_the_horizon() {
+        /// Never halts — only the horizon can stop a fork of it.
+        #[derive(Debug, Clone)]
+        struct Forever;
+        impl Process for Forever {
+            type Msg = Bit;
+            fn send(&mut self, _: &mut Context<'_>) -> SendPattern<Bit> {
+                SendPattern::Broadcast(Bit::One)
+            }
+            fn receive(&mut self, _: &mut Context<'_>, _: &Inbox<Bit>) {}
+            fn decision(&self) -> Option<Bit> {
+                None
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let mut w = World::new(SimConfig::new(3).seed(1).max_rounds(1_000), |_| Forever).unwrap();
+        // Advance two full rounds, then fork with a 5-round horizon.
+        for _ in 0..2 {
+            w.phase_a().unwrap();
+            w.deliver(Intervention::none()).unwrap();
+        }
+        let mut fork = w.fork_bounded(99, 5);
+        let err = fork.run(&mut Passive).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 8 });
+        // The horizon never exceeds the parent's own limit.
+        let fork2 = w.fork_bounded(99, 10_000);
+        assert_eq!(fork2.config().max_rounds_value(), 1_000);
+        // The parent is untouched.
+        assert_eq!(w.round().index(), 3);
+    }
+
+    #[test]
+    fn prefix_filter_delivers_in_id_order_through_the_engine() {
+        // The paper's ordered-send model: a victim that died 2 sends into
+        // its broadcast reaches only the two lowest-id receivers.
+        let mut w = World::new(SimConfig::new(4).faults(1).seed(5), |_| {
+            CountDown::new(5, Bit::One)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        let iv = Intervention::new().kill(ProcessId::new(3), DeliveryFilter::Prefix(2));
+        w.deliver(iv).unwrap();
+        // Receivers 0 and 1 heard all 4 senders; receiver 2 missed P3.
+        assert_eq!(w.process(ProcessId::new(0)).last_inbox_len(), 4);
+        assert_eq!(w.process(ProcessId::new(1)).last_inbox_len(), 4);
+        assert_eq!(w.process(ProcessId::new(2)).last_inbox_len(), 3);
+        assert_eq!(w.metrics().messages_suppressed(), 2, "cut to P2 and P3");
+    }
+
+    #[test]
+    fn halted_processes_stop_sending_and_receiving() {
+        // A 1-round countdown halts after round 1; a 3-round countdown
+        // keeps going and must stop hearing the halted one.
+        let mut w = World::new(SimConfig::new(2).seed(6), |pid| {
+            CountDown::new(if pid.index() == 0 { 1 } else { 3 }, Bit::One)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        w.deliver(Intervention::none()).unwrap();
+        assert!(w.status(ProcessId::new(0)).is_halted());
+        w.phase_a().unwrap();
+        assert!(w.outbox(ProcessId::new(0)).is_none(), "halted senders are silent");
+        w.deliver(Intervention::none()).unwrap();
+        assert_eq!(
+            w.process(ProcessId::new(1)).last_inbox_len(),
+            1,
+            "only its own message remains"
+        );
+    }
+
+    #[test]
+    fn metrics_track_kills_and_messages() {
+        let mut w = World::new(SimConfig::new(4).faults(2).seed(9).trace(true), |_| {
+            CountDown::new(3, Bit::One)
+        })
+        .unwrap();
+        w.phase_a().unwrap();
+        w.deliver(Intervention::kill_all_silent([ProcessId::new(3)]))
+            .unwrap();
+        assert_eq!(w.metrics().total_kills(), 1);
+        // 3 alive broadcast to 4, P3's broadcast fully suppressed.
+        assert_eq!(w.metrics().messages_delivered(), 12);
+        assert_eq!(w.metrics().messages_suppressed(), 4);
+        assert_eq!(w.trace().kills().count(), 1);
+    }
+}

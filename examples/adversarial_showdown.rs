@@ -1,0 +1,130 @@
+//! Adversarial showdown: every protocol against every adversary.
+//!
+//! ```text
+//! cargo run --release --example adversarial_showdown [-- --n 64 --runs 20]
+//! ```
+//!
+//! A miniature tournament reproducing the paper's headline comparison: the
+//! deterministic `t+1`-round baseline is unbeatable for tiny `t` but loses
+//! badly to SynRan once `t ≫ √n`, and no adversary in the suite can stall
+//! SynRan beyond its `O(t/√(n·log n))` budget — or break its safety.
+
+use synran::analysis::{fmt_f64, Table};
+use synran::core::SynRanProcess;
+use synran::prelude::*;
+
+fn parse_flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), SimError> {
+    let n = parse_flag("n", 48);
+    let runs = parse_flag("runs", 15);
+    let t = n - 1;
+    let cfg = SimConfig::new(n).faults(t).max_rounds(200_000);
+    let rate = (n as f64).sqrt().ceil() as usize;
+
+    println!("tournament: n = {n}, t = {t}, {runs} runs per cell\n");
+
+    let mut table = Table::new(["adversary", "flooding (t+1)", "synran", "synran-sym"]);
+    type Mk = Box<dyn Fn(u64) -> Box<dyn Adversary<SynRanProcess>>>;
+    let suite: Vec<(&str, Mk)> = vec![
+        ("passive", Box::new(|_| Box::new(Passive))),
+        (
+            "random(√n)",
+            Box::new(move |s| Box::new(RandomKiller::new(rate, s))),
+        ),
+        ("storm", Box::new(|s| Box::new(Storm::new(s)))),
+        (
+            "kill-ones",
+            Box::new(move |_| Box::new(PreferenceKiller::new(Bit::One, rate))),
+        ),
+        ("balancer", Box::new(|_| Box::new(Balancer::unbounded()))),
+    ];
+
+    for (name, factory) in &suite {
+        // Flooding ignores process internals, so SynRan-specific
+        // adversaries degenerate to their generic behaviour; report the
+        // deterministic column only for the generic rows.
+        let flooding_cell = if matches!(*name, "passive" | "random(√n)" | "storm") {
+            let out = run_batch(
+                &FloodingConsensus::for_faults(t),
+                InputAssignment::even_split(n),
+                &cfg,
+                runs,
+                11,
+                |s| RandomKillerOrPassive::wrap(name, s, rate),
+            )?;
+            assert!(out.all_correct(), "{:?}", out.incorrect());
+            fmt_f64(out.mean_rounds(), 1)
+        } else {
+            format!("{} (oblivious)", t + 1)
+        };
+        let synran = run_batch(
+            &SynRan::new(),
+            InputAssignment::even_split(n),
+            &cfg,
+            runs,
+            11,
+            factory,
+        )?;
+        assert!(synran.all_correct(), "{:?}", synran.incorrect());
+        let sym = run_batch(
+            &SynRan::symmetric(),
+            InputAssignment::even_split(n),
+            &cfg,
+            runs,
+            11,
+            factory,
+        )?;
+        // The symmetric variant may violate validity under adaptive attack
+        // (that is the paper's point); report rather than assert.
+        let sym_cell = if sym.all_correct() {
+            fmt_f64(sym.mean_rounds(), 1)
+        } else {
+            format!("{} (!{} unsafe)", fmt_f64(sym.mean_rounds(), 1), sym.incorrect().len())
+        };
+        table.row([
+            (*name).to_string(),
+            flooding_cell,
+            fmt_f64(synran.mean_rounds(), 1),
+            sym_cell,
+        ]);
+    }
+    print!("{table}");
+    println!("\nreading: flooding is pinned at t + 1 = {} rounds; SynRan stays near its", t + 1);
+    println!("O(t/√(n·log n)) budget against every attack, with safety intact.");
+    Ok(())
+}
+
+/// Adapter giving flooding the generic members of the suite.
+enum RandomKillerOrPassive {
+    Passive,
+    Random(RandomKiller),
+    Storm(Storm),
+}
+
+impl RandomKillerOrPassive {
+    fn wrap(name: &str, seed: u64, rate: usize) -> RandomKillerOrPassive {
+        match name {
+            "random(√n)" => RandomKillerOrPassive::Random(RandomKiller::new(rate, seed)),
+            "storm" => RandomKillerOrPassive::Storm(Storm::new(seed)),
+            _ => RandomKillerOrPassive::Passive,
+        }
+    }
+}
+
+impl<P: synran::sim::Process> Adversary<P> for RandomKillerOrPassive {
+    fn intervene(&mut self, world: &World<P>) -> Intervention {
+        match self {
+            RandomKillerOrPassive::Passive => Passive.intervene(world),
+            RandomKillerOrPassive::Random(r) => r.intervene(world),
+            RandomKillerOrPassive::Storm(s) => s.intervene(world),
+        }
+    }
+}

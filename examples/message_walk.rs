@@ -1,0 +1,61 @@
+//! Watching the §3.4 proof work: the message-walking adversary live.
+//!
+//! ```text
+//! cargo run --release --example message_walk
+//! ```
+//!
+//! Runs SynRan at small n under the [`MessageWalker`] — the finest-grained
+//! realisation of the paper's lower-bound strategy, which fails one
+//! process at a time and cuts its final messages receiver by receiver,
+//! checking the estimated valency after every step — and prints the kill
+//! pattern it discovers each round.
+
+use synran::adversary::MessageWalker;
+use synran::prelude::*;
+use synran::sim::Event;
+
+fn main() -> Result<(), SimError> {
+    let n = 12;
+    let t = n - 1;
+    let seed = 11;
+    let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i % 2 == 0)).collect();
+
+    let verdict = synran::core::check_consensus(
+        &SynRan::new(),
+        &inputs,
+        SimConfig::new(n).faults(t).seed(seed).trace(true).max_rounds(50_000),
+        &mut MessageWalker::new(4, 3, 30, seed),
+    )?;
+
+    println!("n = {n}, t = {t}, even-split inputs, §3.4 message-walking adversary\n");
+    println!("the walk, as recorded by the engine trace:");
+    for event in verdict.report().trace().events() {
+        match event {
+            Event::Killed {
+                victim,
+                round,
+                delivered,
+                suppressed,
+            } => println!(
+                "  {round}: walked {victim} — kept {delivered} of its messages, cut {suppressed}"
+            ),
+            Event::Decided { pid, round, value } => {
+                println!("  {round}: {pid} decided {value}");
+                break;
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "\noutcome: {} rounds, {} kills, decision {:?} — all consensus conditions: {}",
+        verdict.rounds(),
+        verdict.report().metrics().total_kills(),
+        verdict.report().unanimous_decision(),
+        if verdict.is_correct() { "hold" } else { "VIOLATED" },
+    );
+    println!("\nreading: partial message deliveries (kept > 0, cut > 0) are the paper's");
+    println!("case-3 steps — the walk found the exact message whose loss flips the");
+    println!("round's valency, and stopped there.");
+    assert!(verdict.is_correct());
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Probing the valency of a live execution — the lower bound's engine.
+//!
+//! ```text
+//! cargo run --release --example valency_probe
+//! ```
+//!
+//! Reproduces §3.2's state classification on a real execution: pause a
+//! SynRan run between Phase A and Phase B, fork it under reference
+//! adversaries, and watch `min`/`max Pr[decide 1]` — bivalent at the
+//! start, univalent just before the decision. This fork-and-measure
+//! primitive is exactly what `LowerBoundAdversary` uses to pick its kills.
+
+use synran::adversary::{classify_with, estimate_valency, ProbeSet};
+use synran::core::ConsensusProtocol;
+use synran::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let n = 16;
+    let t = n / 2;
+    let protocol = SynRan::new();
+    let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i < n / 2)).collect();
+
+    let mut world = World::new(
+        SimConfig::new(n).faults(t).seed(5).max_rounds(10_000),
+        |pid| protocol.spawn(pid, n, inputs[pid.index()]),
+    )?;
+
+    let probes = ProbeSet::synran(t);
+    println!("n = {n}, t = {t}, even-split inputs; probes: {probes:?}\n");
+    println!("round  min Pr[1]  max Pr[1]  uncertainty  class (lo=0.25, hi=0.75)");
+
+    // Step the world round by round (passively) and probe between phases.
+    for _ in 0..12 {
+        if world.finished() {
+            break;
+        }
+        world.phase_a()?;
+        let est = estimate_valency(&world, &probes, 12, 60, world.round().index().into())
+            .expect("probing a paused world");
+        let class = classify_with(&est, 0.25, 0.75);
+        println!(
+            "{:>5}  {:>9.2}  {:>9.2}  {:>11.2}  {class}",
+            world.round().index(),
+            est.min_p1(),
+            est.max_p1(),
+            est.uncertainty(),
+        );
+        world.deliver(Intervention::none())?;
+    }
+
+    let report = world.report();
+    println!(
+        "\npassive run decided {:?} after {} rounds",
+        report.unanimous_decision(),
+        report.rounds()
+    );
+    println!("reading: early rounds are bivalent (both probes can steer); the execution");
+    println!("passes through exactly one valency collapse on its way to a decision —");
+    println!("the structure Theorem 1's adversary exploits round after round.");
+    Ok(())
+}

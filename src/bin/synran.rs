@@ -1,0 +1,402 @@
+//! The `synran` command-line tool: run protocols against adversaries
+//! without writing code.
+//!
+//! ```text
+//! synran run   --protocol synran --adversary balancer --n 64 --t 63 --seed 7
+//! synran batch --protocol leader --adversary oblivious --n 65 --t 32 --runs 25
+//! synran list
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use synran::adversary::{
+    Balancer, LeaderHunter, LowerBoundAdversary, MessageWalker, Oblivious, PreferenceKiller,
+    RandomKiller, Storm,
+};
+use synran::core::{
+    check_consensus, run_batch, ConsensusProtocol, FloodingConsensus, InputAssignment,
+    LeaderConsensus, SynRan,
+};
+use synran::sim::{Adversary, Bit, Passive, Process, SimConfig, SimRng};
+
+const USAGE: &str = "\
+synran — randomized synchronous consensus vs adaptive fail-stop adversaries
+(Bar-Joseph & Ben-Or, PODC 1998)
+
+USAGE:
+  synran run   [OPTIONS]    run one execution and print its verdict
+  synran batch [OPTIONS]    run many seeded executions and print statistics
+  synran list               list protocols, adversaries, and experiments
+
+OPTIONS:
+  --protocol  synran | symmetric | flooding | leader        (default synran)
+  --adversary passive | random | storm | oblivious | kill-ones | kill-zeros
+              | balancer | lower-bound | walker | hunter    (default passive)
+  --n    <int>   system size                                (default 32)
+  --t    <int>   fault budget                               (default n-1; leader: (n-1)/2)
+  --ones <int>   processes with input 1                     (default n/2)
+  --seed <int>   master seed                                (default 1)
+  --runs <int>   batch size (batch only)                    (default 20)
+  --trace        print the event trace (run only)
+
+Adversary/protocol compatibility: balancer, lower-bound, walker, kill-*
+attack the SynRan family; hunter attacks leader; the rest attack anything.";
+
+fn parse(args: &[String]) -> (Option<String>, HashMap<String, String>, Vec<String>) {
+    let mut cmd = None;
+    let mut values = HashMap::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => flags.push(key.to_string()),
+            }
+        } else if cmd.is_none() {
+            cmd = Some(a.clone());
+        }
+    }
+    (cmd, values, flags)
+}
+
+#[derive(Debug)]
+struct Opts {
+    protocol: String,
+    adversary: String,
+    n: usize,
+    t: usize,
+    ones: usize,
+    seed: u64,
+    runs: usize,
+    trace: bool,
+}
+
+impl Opts {
+    fn from(values: &HashMap<String, String>, flags: &[String]) -> Result<Opts, String> {
+        let get_usize = |k: &str, d: usize| -> Result<usize, String> {
+            values
+                .get(k)
+                .map_or(Ok(d), |v| v.parse().map_err(|_| format!("--{k}: not an integer: {v}")))
+        };
+        let protocol = values
+            .get("protocol")
+            .cloned()
+            .unwrap_or_else(|| "synran".into());
+        let n = get_usize("n", 32)?;
+        let default_t = if protocol == "leader" {
+            (n.saturating_sub(1)) / 2
+        } else {
+            n.saturating_sub(1)
+        };
+        Ok(Opts {
+            adversary: values
+                .get("adversary")
+                .cloned()
+                .unwrap_or_else(|| "passive".into()),
+            t: get_usize("t", default_t)?,
+            ones: get_usize("ones", n / 2)?,
+            seed: values
+                .get("seed")
+                .map_or(Ok(1), |v| v.parse().map_err(|_| format!("--seed: not an integer: {v}")))?,
+            runs: get_usize("runs", 20)?,
+            trace: flags.iter().any(|f| f == "trace"),
+            protocol,
+            n,
+        })
+    }
+
+    fn inputs(&self) -> Vec<Bit> {
+        (0..self.n).map(|i| Bit::from(i < self.ones)).collect()
+    }
+
+    fn config(&self) -> SimConfig {
+        SimConfig::new(self.n)
+            .faults(self.t)
+            .seed(self.seed)
+            .max_rounds(500_000)
+            .trace(self.trace)
+    }
+}
+
+/// Builds the adversary for a SynRan-family run.
+fn synran_adversary(
+    name: &str,
+    opts: &Opts,
+    seed: u64,
+) -> Result<Box<dyn Adversary<synran::core::SynRanProcess>>, String> {
+    let rate = (opts.n as f64).sqrt().ceil() as usize;
+    Ok(match name {
+        "passive" => Box::new(Passive),
+        "random" => Box::new(RandomKiller::new(rate, seed)),
+        "storm" => Box::new(Storm::new(seed)),
+        "oblivious" => Box::new(Oblivious::new(opts.n, rate, 500, seed)),
+        "kill-ones" => Box::new(PreferenceKiller::new(Bit::One, rate)),
+        "kill-zeros" => Box::new(PreferenceKiller::new(Bit::Zero, rate)),
+        "balancer" => Box::new(Balancer::unbounded()),
+        "lower-bound" => Box::new(LowerBoundAdversary::for_system(opts.n, seed)),
+        "walker" => Box::new(MessageWalker::new(rate.max(2), 3, 30, seed)),
+        other => return Err(format!("adversary {other:?} cannot attack this protocol")),
+    })
+}
+
+/// Builds the adversary for a protocol whose process type only generic
+/// adversaries understand.
+fn generic_adversary<P: Process>(
+    name: &str,
+    opts: &Opts,
+    seed: u64,
+) -> Result<Box<dyn Adversary<P>>, String> {
+    let rate = (opts.n as f64).sqrt().ceil() as usize;
+    Ok(match name {
+        "passive" => Box::new(Passive),
+        "random" => Box::new(RandomKiller::new(rate, seed)),
+        "storm" => Box::new(Storm::new(seed)),
+        "oblivious" => Box::new(Oblivious::new(opts.n, rate, 500, seed)),
+        other => return Err(format!("adversary {other:?} cannot attack this protocol")),
+    })
+}
+
+fn leader_adversary(
+    name: &str,
+    opts: &Opts,
+    seed: u64,
+) -> Result<Box<dyn Adversary<synran::core::LeaderProcess>>, String> {
+    if name == "hunter" {
+        return Ok(Box::new(LeaderHunter::new()));
+    }
+    generic_adversary(name, opts, seed)
+}
+
+fn run_once<P>(
+    protocol: &P,
+    opts: &Opts,
+    mut adversary: Box<dyn Adversary<P::Proc>>,
+) -> Result<(), String>
+where
+    P: ConsensusProtocol,
+{
+    let verdict = check_consensus(protocol, &opts.inputs(), opts.config(), &mut adversary)
+        .map_err(|e| e.to_string())?;
+    println!("protocol    : {}", protocol.name());
+    println!("adversary   : {}", opts.adversary);
+    println!("n / t / ones: {} / {} / {}", opts.n, opts.t, opts.ones);
+    println!("rounds      : {}", verdict.rounds());
+    println!(
+        "kills       : {}",
+        verdict.report().metrics().total_kills()
+    );
+    println!("decision    : {:?}", verdict.report().unanimous_decision());
+    println!(
+        "correct     : {} (agreement {}, validity {}, termination {})",
+        verdict.is_correct(),
+        verdict.agreement(),
+        verdict.validity(),
+        verdict.termination()
+    );
+    if !verdict.violations().is_empty() {
+        for v in verdict.violations() {
+            println!("violation   : {v}");
+        }
+    }
+    if opts.trace {
+        println!("\ntrace:");
+        for e in verdict.report().trace().events() {
+            println!("  {e}");
+        }
+    }
+    Ok(())
+}
+
+fn run_batch_cmd<P, F>(protocol: &P, opts: &Opts, mut make: F) -> Result<(), String>
+where
+    P: ConsensusProtocol,
+    F: FnMut(u64) -> Result<Box<dyn Adversary<P::Proc>>, String>,
+{
+    // Pre-validate the adversary name once.
+    make(0)?;
+    let assignment = InputAssignment::Split { ones: opts.ones };
+    let outcome = run_batch(
+        protocol,
+        assignment,
+        &opts.config(),
+        opts.runs,
+        opts.seed,
+        |s| make(s).expect("validated above"),
+    )
+    .map_err(|e| e.to_string())?;
+    let mean = outcome.mean_rounds();
+    let kills: f64 =
+        outcome.kills().iter().map(|&k| k as f64).sum::<f64>() / outcome.kills().len() as f64;
+    println!("protocol  : {}", protocol.name());
+    println!("adversary : {}", opts.adversary);
+    println!("n / t     : {} / {}", opts.n, opts.t);
+    println!("runs      : {}", opts.runs);
+    println!("rounds    : mean {:.1}, max {:?}", mean, outcome.max_rounds());
+    println!("kills     : mean {kills:.1}");
+    println!(
+        "correct   : {}/{} runs",
+        opts.runs - outcome.incorrect().len() - outcome.timeouts(),
+        opts.runs
+    );
+    for (seed, violations) in outcome.incorrect() {
+        println!("  seed {seed}: {violations:?}");
+    }
+    Ok(())
+}
+
+fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
+    let seed0 = SimRng::new(opts.seed).next_u64();
+    match (cmd, opts.protocol.as_str()) {
+        ("run", "synran") => run_once(&SynRan::new(), opts, synran_adversary(&opts.adversary, opts, seed0)?),
+        ("run", "symmetric") => run_once(
+            &SynRan::symmetric(),
+            opts,
+            synran_adversary(&opts.adversary, opts, seed0)?,
+        ),
+        ("run", "flooding") => run_once(
+            &FloodingConsensus::for_faults(opts.t),
+            opts,
+            generic_adversary(&opts.adversary, opts, seed0)?,
+        ),
+        ("run", "leader") => run_once(
+            &LeaderConsensus::for_faults(opts.t),
+            opts,
+            leader_adversary(&opts.adversary, opts, seed0)?,
+        ),
+        ("batch", "synran") => {
+            run_batch_cmd(&SynRan::new(), opts, |s| synran_adversary(&opts.adversary, opts, s))
+        }
+        ("batch", "symmetric") => run_batch_cmd(&SynRan::symmetric(), opts, |s| {
+            synran_adversary(&opts.adversary, opts, s)
+        }),
+        ("batch", "flooding") => run_batch_cmd(&FloodingConsensus::for_faults(opts.t), opts, |s| {
+            generic_adversary(&opts.adversary, opts, s)
+        }),
+        ("batch", "leader") => run_batch_cmd(&LeaderConsensus::for_faults(opts.t), opts, |s| {
+            leader_adversary(&opts.adversary, opts, s)
+        }),
+        (_, p) => Err(format!("unknown protocol {p:?} (see `synran list`)")),
+    }
+}
+
+fn list() {
+    println!("protocols : synran (the paper's §4 protocol, any t < n)");
+    println!("            symmetric (SynRan minus the one-sided coin rule — E5's ablation)");
+    println!("            flooding (deterministic t+1-round baseline)");
+    println!("            leader (CMS-style random leader, t < n/2 — E9)");
+    println!();
+    println!("adversaries: passive, random, storm, oblivious (pre-committed schedule),");
+    println!("            kill-ones, kill-zeros, balancer (Lemma 4.6 stalling),");
+    println!("            lower-bound (Theorem 1, valency-guided), walker (§3.4 message walk),");
+    println!("            hunter (leader-killing, E9)");
+    println!();
+    println!("experiments (in crates/bench): e1_coin_control e2_blowup e3_lower_bound");
+    println!("            e4_synran_upper e5_protocol_comparison e6_large_deviation");
+    println!("            e7_t_sweep e8_budget_ablation e9_adaptivity e10_threshold_ablation");
+    println!("            → cargo run --release -p synran-bench --bin <name>");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, values, flags) = parse(&args);
+    let Some(cmd) = cmd else {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    };
+    if cmd == "list" {
+        list();
+        return ExitCode::SUCCESS;
+    }
+    if cmd != "run" && cmd != "batch" {
+        eprintln!("unknown command {cmd:?}\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let opts = match Opts::from(&values, &flags) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&cmd, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts_from(args: &[&str]) -> Result<Opts, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let (_, values, flags) = parse(&owned);
+        Opts::from(&values, &flags)
+    }
+
+    #[test]
+    fn parse_splits_command_values_and_flags() {
+        let args: Vec<String> = ["run", "--n", "16", "--trace", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (cmd, values, flags) = parse(&args);
+        assert_eq!(cmd.as_deref(), Some("run"));
+        assert_eq!(values.get("n").map(String::as_str), Some("16"));
+        assert_eq!(values.get("seed").map(String::as_str), Some("9"));
+        assert!(flags.contains(&"trace".to_string()));
+    }
+
+    #[test]
+    fn defaults_depend_on_protocol() {
+        let o = opts_from(&["--n", "32"]).unwrap();
+        assert_eq!(o.protocol, "synran");
+        assert_eq!(o.t, 31, "default t = n − 1");
+        assert_eq!(o.ones, 16);
+        let o = opts_from(&["--protocol", "leader", "--n", "33"]).unwrap();
+        assert_eq!(o.t, 16, "leader defaults to t = (n−1)/2");
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let err = opts_from(&["--n", "many"]).unwrap_err();
+        assert!(err.contains("--n"), "{err}");
+        let err = opts_from(&["--seed", "x"]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn inputs_and_config_reflect_options() {
+        let o = opts_from(&["--n", "6", "--ones", "2", "--t", "3", "--trace"]).unwrap();
+        let inputs = o.inputs();
+        assert_eq!(inputs.iter().filter(|b| b.is_one()).count(), 2);
+        assert_eq!(inputs.len(), 6);
+        let cfg = o.config();
+        assert_eq!(cfg.n(), 6);
+        assert_eq!(cfg.t(), 3);
+        assert!(cfg.trace_enabled());
+    }
+
+    #[test]
+    fn adversary_protocol_compatibility_is_enforced() {
+        let o = opts_from(&["--adversary", "balancer"]).unwrap();
+        assert!(synran_adversary_builds(&o));
+        assert!(
+            generic_adversary::<synran::core::LeaderProcess>("balancer", &o, 1).is_err(),
+            "balancer must not attack generic protocols"
+        );
+        assert!(leader_adversary("hunter", &o, 1).is_ok());
+        assert!(leader_adversary("walker", &o, 1).is_err());
+    }
+
+    fn synran_adversary_builds(o: &Opts) -> bool {
+        synran_adversary(&o.adversary, o, 1).is_ok()
+    }
+}

@@ -1,0 +1,81 @@
+//! # synran — a reproduction of Bar-Joseph & Ben-Or (PODC 1998)
+//!
+//! *"A Tight Lower Bound for Randomized Synchronous Consensus"* proves
+//! matching `Θ(t/√(n·log(2+t/√n)))` bounds on the expected round
+//! complexity of randomized synchronous consensus against an adaptive,
+//! full-information, fail-stop adversary. This workspace rebuilds the
+//! whole system the paper reasons about:
+//!
+//! * [`sim`] — the synchronous full-information simulator (§3.1's model);
+//! * [`coin`] — one-round collective coin-flipping games and their
+//!   controllability (§2, Lemma 2.1 / Corollary 2.2);
+//! * [`core`] — the `SynRan` protocol (§4), its symmetric-coin ablation,
+//!   and the deterministic flooding baseline, plus consensus checking;
+//! * [`adversary`] — the lower-bound machinery (§3): probabilistic
+//!   valency, the valency-guided adversary, and structural attacks;
+//! * [`analysis`] — statistics, exact binomial tails (Lemma 4.4), and the
+//!   paper's bound curves.
+//!
+//! The umbrella crate re-exports everything; depend on it and use the
+//! module paths below, or depend on the member crates directly.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use synran::core::{check_consensus, SynRan};
+//! use synran::sim::{Bit, Passive, SimConfig};
+//!
+//! let n = 16;
+//! let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i % 2 == 0)).collect();
+//! let verdict = check_consensus(
+//!     &SynRan::new(),
+//!     &inputs,
+//!     SimConfig::new(n).seed(7),
+//!     &mut Passive,
+//! )?;
+//! assert!(verdict.is_correct());
+//! println!("agreed in {} rounds", verdict.rounds());
+//! # Ok::<(), synran::sim::SimError>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/bench/src/bin/` for the experiment harnesses (E1–E10) that
+//! regenerate every quantitative claim in the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use synran_adversary as adversary;
+pub use synran_analysis as analysis;
+pub use synran_coin as coin;
+pub use synran_core as core;
+pub use synran_sim as sim;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use synran_adversary::{
+        Balancer, BoundaryAttack, LeaderHunter, LowerBoundAdversary, MessageWalker, Oblivious,
+        PreferenceKiller, RandomKiller, Storm,
+    };
+    pub use synran_core::{
+        check_consensus, run_batch, ConsensusProtocol, FloodingConsensus, InputAssignment,
+        LeaderConsensus, LeaderProcess, SynRan,
+    };
+    pub use synran_sim::{
+        Adversary, Bit, Intervention, Passive, ProcessId, Round, SimConfig, SimError, SimRng,
+        World,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let cfg = SimConfig::new(4).seed(1);
+        let protocol = SynRan::new();
+        let inputs = [Bit::One; 4];
+        let verdict = check_consensus(&protocol, &inputs, cfg, &mut Passive).unwrap();
+        assert!(verdict.is_correct());
+    }
+}

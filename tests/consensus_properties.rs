@@ -1,0 +1,173 @@
+//! Property-based tests: the consensus conditions hold for *arbitrary*
+//! system sizes, fault budgets, input vectors, seeds, and adversary
+//! schedules.
+
+use proptest::prelude::*;
+
+use synran::core::SynRanProcess;
+use synran::prelude::*;
+
+/// The adversaries a property case may draw.
+#[derive(Debug, Clone)]
+enum AdversaryChoice {
+    Passive,
+    Random { per_round: usize },
+    Storm,
+    KillOnes { per_round: usize },
+    KillZeros { per_round: usize },
+    Balancer,
+    BalancerCapped { cap: usize },
+}
+
+impl AdversaryChoice {
+    fn build(&self, seed: u64) -> Box<dyn Adversary<SynRanProcess>> {
+        match *self {
+            AdversaryChoice::Passive => Box::new(Passive),
+            AdversaryChoice::Random { per_round } => {
+                Box::new(RandomKiller::new(per_round, seed))
+            }
+            AdversaryChoice::Storm => Box::new(Storm::new(seed)),
+            AdversaryChoice::KillOnes { per_round } => {
+                Box::new(PreferenceKiller::new(Bit::One, per_round))
+            }
+            AdversaryChoice::KillZeros { per_round } => {
+                Box::new(PreferenceKiller::new(Bit::Zero, per_round))
+            }
+            AdversaryChoice::Balancer => Box::new(Balancer::unbounded()),
+            AdversaryChoice::BalancerCapped { cap } => Box::new(Balancer::with_cap(cap)),
+        }
+    }
+}
+
+fn adversary_strategy() -> impl Strategy<Value = AdversaryChoice> {
+    prop_oneof![
+        Just(AdversaryChoice::Passive),
+        (1usize..5).prop_map(|per_round| AdversaryChoice::Random { per_round }),
+        Just(AdversaryChoice::Storm),
+        (1usize..5).prop_map(|per_round| AdversaryChoice::KillOnes { per_round }),
+        (1usize..5).prop_map(|per_round| AdversaryChoice::KillZeros { per_round }),
+        Just(AdversaryChoice::Balancer),
+        (1usize..8).prop_map(|cap| AdversaryChoice::BalancerCapped { cap }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Agreement + termination for arbitrary inputs, budgets, seeds, and
+    /// adversaries. (Validity is checked by the checker too whenever the
+    /// drawn inputs happen to be unanimous.)
+    #[test]
+    fn synran_is_correct(
+        n in 2usize..24,
+        t_frac in 0.0f64..1.0,
+        input_bits in proptest::collection::vec(any::<bool>(), 24),
+        seed in any::<u64>(),
+        choice in adversary_strategy(),
+    ) {
+        let t = ((n as f64) * t_frac) as usize;
+        let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(input_bits[i])).collect();
+        let mut adversary = choice.build(seed);
+        let verdict = check_consensus(
+            &SynRan::new(),
+            &inputs,
+            SimConfig::new(n).faults(t.min(n)).seed(seed).max_rounds(50_000),
+            &mut adversary,
+        ).unwrap();
+        prop_assert!(
+            verdict.is_correct(),
+            "n={n} t={t} {choice:?}: {:?}",
+            verdict.violations()
+        );
+    }
+
+    /// Flooding is correct and takes exactly t+1 rounds under generic
+    /// adversaries.
+    #[test]
+    fn flooding_is_correct_and_exact(
+        n in 2usize..16,
+        t_frac in 0.0f64..1.0,
+        input_bits in proptest::collection::vec(any::<bool>(), 16),
+        seed in any::<u64>(),
+        per_round in 1usize..4,
+    ) {
+        let t = (((n - 1) as f64) * t_frac) as usize;
+        let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(input_bits[i])).collect();
+        let verdict = check_consensus(
+            &FloodingConsensus::for_faults(t),
+            &inputs,
+            SimConfig::new(n).faults(t).seed(seed),
+            &mut RandomKiller::new(per_round, seed),
+        ).unwrap();
+        prop_assert!(verdict.is_correct(), "{:?}", verdict.violations());
+        prop_assert_eq!(verdict.rounds(), t as u32 + 1);
+    }
+
+    /// The engine never lets any adversary overspend its budget, and the
+    /// reported kill count matches the failed-process count.
+    #[test]
+    fn fault_accounting_is_exact(
+        n in 2usize..20,
+        t in 0usize..20,
+        seed in any::<u64>(),
+        choice in adversary_strategy(),
+    ) {
+        let t = t.min(n);
+        let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i % 2 == 0)).collect();
+        let mut adversary = choice.build(seed);
+        let verdict = check_consensus(
+            &SynRan::new(),
+            &inputs,
+            SimConfig::new(n).faults(t).seed(seed).max_rounds(50_000),
+            &mut adversary,
+        ).unwrap();
+        let kills = verdict.report().metrics().total_kills();
+        prop_assert!(kills <= t, "kills {kills} > budget {t}");
+        prop_assert_eq!(kills, verdict.report().failed_count());
+    }
+
+    /// Replay determinism across the full stack: identical seeds give
+    /// identical executions.
+    #[test]
+    fn replay_is_deterministic(
+        n in 2usize..16,
+        seed in any::<u64>(),
+        choice in adversary_strategy(),
+    ) {
+        let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i % 3 == 0)).collect();
+        let run = || {
+            let mut adversary = choice.build(seed);
+            let verdict = check_consensus(
+                &SynRan::new(),
+                &inputs,
+                SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+                &mut adversary,
+            ).unwrap();
+            (verdict.rounds(), verdict.report().decisions().to_vec())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Unanimous inputs always decide that exact value (Validity), even
+    /// under the strongest stalling attack.
+    #[test]
+    fn validity_under_balancer(
+        n in 2usize..20,
+        v in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let v = Bit::from(v);
+        let verdict = check_consensus(
+            &SynRan::new(),
+            &vec![v; n],
+            SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+            &mut Balancer::unbounded(),
+        ).unwrap();
+        prop_assert!(verdict.is_correct(), "{:?}", verdict.violations());
+        prop_assert_eq!(verdict.report().unanimous_decision(), Some(v));
+    }
+}

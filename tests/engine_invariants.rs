@@ -1,0 +1,170 @@
+//! Property tests on the engine itself: whatever (legal) interventions an
+//! adversary throws, the simulator's structural invariants hold.
+
+use proptest::prelude::*;
+
+use synran::prelude::*;
+use synran::sim::{
+    Context, DeliveryFilter, Inbox, Process, ProcessStatus, SendPattern,
+};
+
+/// A probe process that records everything it observes, so the tests can
+/// audit delivery behaviour from the receiving side.
+#[derive(Debug, Clone, Default)]
+struct Auditor {
+    /// Per round: the sender ids observed.
+    inbox_log: Vec<Vec<usize>>,
+    rounds_seen: u32,
+    lifetime: u32,
+}
+
+impl Auditor {
+    fn new(lifetime: u32) -> Auditor {
+        Auditor {
+            lifetime,
+            ..Auditor::default()
+        }
+    }
+}
+
+impl Process for Auditor {
+    type Msg = u32;
+
+    fn send(&mut self, ctx: &mut Context<'_>) -> SendPattern<u32> {
+        SendPattern::Broadcast(ctx.pid().index() as u32)
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, inbox: &Inbox<u32>) {
+        self.inbox_log
+            .push(inbox.senders().map(ProcessId::index).collect());
+        self.rounds_seen += 1;
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        (self.rounds_seen >= self.lifetime).then_some(Bit::Zero)
+    }
+
+    fn halted(&self) -> bool {
+        self.rounds_seen >= self.lifetime
+    }
+}
+
+/// A scripted adversary applying arbitrary-but-legal interventions.
+#[derive(Debug, Clone)]
+struct Scripted {
+    script: Vec<Vec<(usize, u8, usize)>>, // per round: (victim, filter kind, param)
+}
+
+impl<P: Process> Adversary<P> for Scripted {
+    fn intervene(&mut self, world: &World<P>) -> Intervention {
+        let round = world.round().index() as usize - 1;
+        let Some(kills) = self.script.get(round) else {
+            return Intervention::none();
+        };
+        let mut iv = Intervention::new();
+        let mut used = 0usize;
+        for &(victim, kind, param) in kills {
+            let victim = ProcessId::new(victim % world.n());
+            if !world.status(victim).is_alive()
+                || iv.kills().iter().any(|k| k.victim == victim)
+                || used + 1 > world.budget().remaining()
+                || world.alive_count() <= iv.kills().len() + 1
+            {
+                continue;
+            }
+            let filter = match kind % 4 {
+                0 => DeliveryFilter::All,
+                1 => DeliveryFilter::None,
+                2 => DeliveryFilter::Prefix(param % (world.n() + 1)),
+                _ => DeliveryFilter::To(
+                    (0..world.n())
+                        .filter(|i| (param >> (i % 8)) & 1 == 1)
+                        .map(ProcessId::new)
+                        .collect(),
+                ),
+            };
+            iv = iv.kill(victim, filter);
+            used += 1;
+        }
+        iv
+    }
+}
+
+fn script_strategy() -> impl Strategy<Value = Vec<Vec<(usize, u8, usize)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..32, any::<u8>(), 0usize..256), 0..4),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Structural invariants across arbitrary legal intervention scripts:
+    /// inboxes are sorted and duplicate-free, alive processes always hear
+    /// themselves, per-receiver message counts never exceed the living
+    /// sender count, and statuses change monotonically.
+    #[test]
+    fn engine_invariants_hold(
+        n in 2usize..16,
+        t in 0usize..16,
+        lifetime in 1u32..8,
+        seed in any::<u64>(),
+        script in script_strategy(),
+    ) {
+        let t = t.min(n);
+        let mut world = World::new(
+            SimConfig::new(n).faults(t).seed(seed).max_rounds(100),
+            |_| Auditor::new(lifetime),
+        ).unwrap();
+        let report = world.run(&mut Scripted { script }).unwrap();
+
+        // Budget and status accounting.
+        prop_assert!(report.failed_count() <= t);
+        prop_assert_eq!(
+            report.failed_count(),
+            report.metrics().total_kills()
+        );
+
+        let mut alive_per_round: Vec<usize> = Vec::new();
+        let mut kills_by_round = vec![0usize; report.rounds() as usize + 1];
+        for &(round, k) in report.metrics().kills_per_round() {
+            kills_by_round[round.index() as usize - 1] = k;
+        }
+        let mut alive = n;
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..report.rounds() as usize {
+            alive_per_round.push(alive);
+            alive -= kills_by_round[r].min(alive);
+        }
+
+        for (pid, p, status) in world.processes() {
+            // A process that was never failed must have fully lived out
+            // its scripted lifetime (or still be alive at the cap).
+            match status {
+                ProcessStatus::Failed(round) => {
+                    // It stopped receiving the round it died.
+                    prop_assert!(p.rounds_seen <= round.index());
+                }
+                ProcessStatus::Halted(_) => {
+                    prop_assert_eq!(p.rounds_seen, lifetime);
+                }
+                ProcessStatus::Alive => prop_assert!(false, "run finished with {pid} alive"),
+            }
+            for (r, senders) in p.inbox_log.iter().enumerate() {
+                // Sorted, duplicate-free senders.
+                prop_assert!(senders.windows(2).all(|w| w[0] < w[1]));
+                // An alive receiver always hears itself (self-delivery can
+                // only be cut by the receiver's own death, in which case
+                // receive is never called).
+                prop_assert!(
+                    senders.contains(&pid.index()),
+                    "{pid} missed its own message in round {}",
+                    r + 1
+                );
+                // No more messages than processes alive at round start.
+                prop_assert!(senders.len() <= alive_per_round[r]);
+            }
+        }
+    }
+}

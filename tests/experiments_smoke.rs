@@ -1,0 +1,196 @@
+//! Miniature versions of the experiment suite (E1–E10), asserting the qualitative
+//! *shapes* the paper proves. The full harnesses live in
+//! `crates/bench/src/bin/`; these keep the shapes under `cargo test`.
+
+use synran::adversary::{Balancer, RandomKiller};
+use synran::analysis::{lemma_4_4_bound, Binomial, ShapeFit};
+use synran::coin::{
+    bias_radius, estimate_control, CombinedHider, GreedyHider, MajorityGame, Outcome,
+    schechtman_bound, HypercubeSet,
+};
+use synran::core::{run_batch, FloodingConsensus, InputAssignment, SynRan};
+use synran::sim::{Passive, SimConfig, SimRng};
+
+/// E1 in miniature: majority-0 is controlled toward 0 (and only 0) once
+/// the hide budget passes ~√(n·ln n).
+#[test]
+fn e1_majority_controlled_one_way() {
+    let n = 51;
+    let t = bias_radius(n).ceil() as usize; // > the one-outcome threshold
+    let game = MajorityGame::new(n);
+    let mut rng = SimRng::new(1);
+    let est = estimate_control(&game, &GreedyHider, t.min(n), 200, &mut rng);
+    assert!(est.forcible_fraction(Outcome(0)) > 1.0 - 1.0 / n as f64);
+    assert!(est.forcible_fraction(Outcome(1)) < 0.7, "1 must stay unforcible");
+    assert_eq!(est.controlled_outcome(1.0 - 1.0 / n as f64), Some(Outcome(0)));
+}
+
+/// E1's impossibility half, exactly: no hide-set ever forces majority to 1
+/// from a 0-majority input.
+#[test]
+fn e1_majority_never_forced_to_one() {
+    let n = 9;
+    let game = MajorityGame::new(n);
+    let searcher = CombinedHider::default();
+    use synran::coin::{HideSearch, SearchOutcome};
+    let values = [0, 0, 0, 0, 0, 1, 1, 1, 1];
+    assert_eq!(
+        searcher.force(&game, &values, n, Outcome(1)),
+        SearchOutcome::Impossible
+    );
+}
+
+/// E2 in miniature: the Schechtman bound holds exactly on a small cube.
+#[test]
+fn e2_blowup_bound_holds() {
+    let n = 12u32;
+    let mut rng = SimRng::new(2);
+    for density in [0.02f64, 0.3] {
+        let a = HypercubeSet::random(n, density, &mut rng);
+        if a.is_empty() {
+            continue;
+        }
+        let alpha = a.measure();
+        for l in 0..=n {
+            assert!(
+                a.blow_up(l).measure() + 1e-12 >= schechtman_bound(n as usize, alpha, l)
+            );
+        }
+    }
+}
+
+/// E3/E4 in miniature: the balancer forces more rounds than passive play,
+/// at every tested size, without ever breaking safety.
+#[test]
+fn e3_e4_balancer_stalls_but_safely() {
+    for n in [16usize, 32] {
+        let cfg = SimConfig::new(n).faults(n - 1).max_rounds(100_000);
+        let passive = run_batch(
+            &SynRan::new(),
+            InputAssignment::even_split(n),
+            &cfg,
+            10,
+            3,
+            |_| Passive,
+        )
+        .unwrap();
+        let attacked = run_batch(
+            &SynRan::new(),
+            InputAssignment::even_split(n),
+            &cfg,
+            10,
+            3,
+            |_| Balancer::unbounded(),
+        )
+        .unwrap();
+        assert!(passive.all_correct() && attacked.all_correct());
+        assert!(
+            attacked.mean_rounds() > passive.mean_rounds(),
+            "n={n}: {} vs {}",
+            attacked.mean_rounds(),
+            passive.mean_rounds()
+        );
+    }
+}
+
+/// E5 in miniature: flooding takes exactly t+1 rounds while SynRan stays
+/// sublinear — the crossover of the paper's introduction.
+#[test]
+fn e5_crossover_shape() {
+    let n = 32;
+    let t = n - 1;
+    let cfg = SimConfig::new(n).faults(t).max_rounds(100_000);
+    let flooding = run_batch(
+        &FloodingConsensus::for_faults(t),
+        InputAssignment::even_split(n),
+        &cfg,
+        5,
+        4,
+        |s| RandomKiller::new(3, s),
+    )
+    .unwrap();
+    let synran = run_batch(
+        &SynRan::new(),
+        InputAssignment::even_split(n),
+        &cfg,
+        5,
+        4,
+        |s| RandomKiller::new(3, s),
+    )
+    .unwrap();
+    assert!(flooding.all_correct() && synran.all_correct());
+    assert_eq!(flooding.mean_rounds(), t as f64 + 1.0);
+    assert!(
+        synran.mean_rounds() < flooding.mean_rounds() / 1.5,
+        "SynRan ({}) must beat flooding ({}) at t = n − 1",
+        synran.mean_rounds(),
+        flooding.mean_rounds()
+    );
+}
+
+/// E6 in miniature: the exact binomial tail dominates Lemma 4.4's bound.
+#[test]
+fn e6_large_deviation_bound_holds() {
+    for n in [100usize, 900] {
+        let b = Binomial::fair(n);
+        let sqrt_n = (n as f64).sqrt();
+        for t in [0.0f64, 0.5, 1.0] {
+            assert!(b.deviation_tail(t * sqrt_n) >= lemma_4_4_bound(t));
+        }
+    }
+}
+
+/// E7 in miniature: rounds grow with t (monotone trend up to noise) and
+/// the growth is far slower than linear.
+#[test]
+fn e7_sublinear_growth_in_t() {
+    let n = 64;
+    let mut means = Vec::new();
+    for t in [4usize, 16, 63] {
+        let outcome = run_batch(
+            &SynRan::new(),
+            InputAssignment::even_split(n),
+            &SimConfig::new(n).faults(t).max_rounds(100_000),
+            10,
+            5,
+            |_| Balancer::unbounded(),
+        )
+        .unwrap();
+        assert!(outcome.all_correct());
+        means.push(outcome.mean_rounds());
+    }
+    // Sublinear: 16x more faults must cost far less than 16x more rounds.
+    assert!(
+        means[2] < means[0] * 8.0,
+        "rounds grew superlinearly: {means:?}"
+    );
+}
+
+/// E8 in miniature: the adversary's total spend correlates with the rounds
+/// it buys — stalling is paid for, never free.
+#[test]
+fn e8_stalling_is_paid_for() {
+    let n = 48;
+    let outcome = run_batch(
+        &SynRan::new(),
+        InputAssignment::even_split(n),
+        &SimConfig::new(n).faults(n - 1).max_rounds(100_000),
+        12,
+        6,
+        |_| Balancer::unbounded(),
+    )
+    .unwrap();
+    assert!(outcome.all_correct());
+    // Fit rounds ≈ scale · kills: the relationship must be positive.
+    let rounds: Vec<f64> = outcome.rounds().iter().map(|&r| f64::from(r)).collect();
+    let kills: Vec<f64> = outcome.kills().iter().map(|&k| k as f64 + 1.0).collect();
+    let fit = ShapeFit::fit(&rounds, &kills);
+    assert!(fit.scale() > 0.0);
+    // And long runs require kills: every run that beat the passive
+    // baseline by 3x spent something.
+    for (r, k) in outcome.rounds().iter().zip(outcome.kills()) {
+        if *r > 15 {
+            assert!(*k > 0, "a {r}-round stall with zero kills?");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests on the substrate crates: coin-game searchers, blow-up
+//! machinery, RNG, and message primitives.
+
+use proptest::prelude::*;
+
+use synran::coin::{
+    with_hidden, CoinGame, CombinedHider, ExhaustiveHider, GreedyHider, HideSearch,
+    HypercubeSet, MajorityGame, ModKGame, OneSidedGame, Outcome, ParityGame,
+    RecursiveMajorityGame, SearchOutcome, ThresholdGame, TribesGame,
+};
+use synran::sim::{Bit, Inbox, ProcessId, SimRng};
+
+#[derive(Debug, Clone)]
+enum GameChoice {
+    Majority(usize),
+    Parity(usize),
+    OneSided(usize),
+    Threshold(usize, usize),
+    Tribes(usize, usize),
+    ModK(usize, usize),
+    RecursiveMajority(u32),
+}
+
+impl GameChoice {
+    fn build(&self) -> Box<dyn CoinGame> {
+        match *self {
+            GameChoice::Majority(n) => Box::new(MajorityGame::new(n)),
+            GameChoice::Parity(n) => Box::new(ParityGame::new(n)),
+            GameChoice::OneSided(n) => Box::new(OneSidedGame::new(n)),
+            GameChoice::Threshold(n, q) => Box::new(ThresholdGame::new(n, q)),
+            GameChoice::Tribes(b, w) => Box::new(TribesGame::new(b, w)),
+            GameChoice::ModK(n, k) => Box::new(ModKGame::new(n, k)),
+            GameChoice::RecursiveMajority(d) => Box::new(RecursiveMajorityGame::new(d)),
+        }
+    }
+}
+
+fn game_strategy() -> impl Strategy<Value = GameChoice> {
+    prop_oneof![
+        (1usize..12).prop_map(GameChoice::Majority),
+        (1usize..12).prop_map(GameChoice::Parity),
+        (1usize..12).prop_map(GameChoice::OneSided),
+        (2usize..12).prop_flat_map(|n| (Just(n), 1..=n).prop_map(|(n, q)| GameChoice::Threshold(n, q))),
+        ((1usize..4), (1usize..4)).prop_map(|(b, w)| GameChoice::Tribes(b, w)),
+        ((1usize..8), (2usize..5)).prop_map(|(n, k)| GameChoice::ModK(n, k)),
+        (1u32..3).prop_map(GameChoice::RecursiveMajority),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Soundness: whatever a searcher claims to force, re-evaluating the
+    /// game under the returned hide-set confirms — and the set respects
+    /// the budget.
+    #[test]
+    fn searchers_are_sound(
+        choice in game_strategy(),
+        seed in any::<u64>(),
+        t_frac in 0.0f64..1.0,
+        target_idx in 0usize..5,
+    ) {
+        let game = choice.build();
+        let n = game.players();
+        let t = ((n as f64) * t_frac) as usize;
+        let target = Outcome(target_idx % game.outcomes());
+        let mut rng = SimRng::new(seed);
+        let values = synran::coin::sample_inputs(game.as_ref(), &mut rng);
+
+        for result in [
+            GreedyHider.force(game.as_ref(), &values, t, target),
+            ExhaustiveHider::default().force(game.as_ref(), &values, t, target),
+            CombinedHider::default().force(game.as_ref(), &values, t, target),
+        ] {
+            if let SearchOutcome::Forced(set) = result {
+                prop_assert!(set.len() <= t, "hide-set larger than budget");
+                let mut sorted = set.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), set.len(), "duplicate hides");
+                prop_assert_eq!(game.outcome(&with_hidden(&values, &set)), target);
+            }
+        }
+    }
+
+    /// Completeness of the exact searcher relative to greedy: greedy can
+    /// never find a forcing set the exhaustive search misses.
+    #[test]
+    fn exhaustive_dominates_greedy(
+        choice in game_strategy(),
+        seed in any::<u64>(),
+        t in 0usize..4,
+    ) {
+        let game = choice.build();
+        let mut rng = SimRng::new(seed);
+        let values = synran::coin::sample_inputs(game.as_ref(), &mut rng);
+        for v in 0..game.outcomes() {
+            let greedy = GreedyHider.force(game.as_ref(), &values, t, Outcome(v));
+            let exact = ExhaustiveHider::default().force(game.as_ref(), &values, t, Outcome(v));
+            if greedy.is_forced() {
+                prop_assert!(exact.is_forced());
+            }
+            if exact == SearchOutcome::Impossible {
+                prop_assert!(!greedy.is_forced());
+            }
+        }
+    }
+
+    /// Blow-up is monotone, extensive, and saturates at the full cube.
+    #[test]
+    fn blowup_invariants(
+        n in 1u32..10,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+        l1 in 0u32..10,
+        l2 in 0u32..10,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let a = HypercubeSet::random(n, density, &mut rng);
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let b_lo = a.blow_up(lo.min(n));
+        let b_hi = a.blow_up(hi.min(n));
+        // Extensive: A ⊆ B(A, l). Monotone: B(A, lo) ⊆ B(A, hi).
+        for p in a.points() {
+            prop_assert!(b_lo.contains(p));
+        }
+        for p in b_lo.points() {
+            prop_assert!(b_hi.contains(p));
+        }
+        if !a.is_empty() {
+            prop_assert_eq!(a.blow_up(n).count(), 1u64 << n, "radius n covers the cube");
+        }
+    }
+
+    /// The RNG's bounded draw is unbiased enough to always stay in range,
+    /// and distinct streams never alias for distinct coordinates.
+    #[test]
+    fn rng_invariants(seed in any::<u64>(), bound in 1u64..1000, draws in 1usize..50) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..draws {
+            prop_assert!(rng.below(bound) < bound);
+        }
+        let a = SimRng::stream(seed, ProcessId::new(1), synran::sim::Round::new(2),
+                               synran::sim::StreamPhase::Send);
+        let b = SimRng::stream(seed, ProcessId::new(2), synran::sim::Round::new(1),
+                               synran::sim::StreamPhase::Send);
+        prop_assert_ne!(a, b, "stream collision across coordinates");
+    }
+
+    /// Inboxes built from arbitrary unordered input sort by sender and
+    /// answer lookups consistently.
+    #[test]
+    fn inbox_invariants(senders in proptest::collection::btree_set(0usize..64, 0..20)) {
+        let inbox: Inbox<Bit> = senders
+            .iter()
+            .rev() // feed in descending order to exercise the sort
+            .map(|&s| (ProcessId::new(s), Bit::from(s % 2 == 0)))
+            .collect();
+        prop_assert_eq!(inbox.len(), senders.len());
+        let mut last = None;
+        for (s, m) in inbox.iter() {
+            prop_assert!(last.is_none_or(|l| l < *s), "not ascending");
+            prop_assert_eq!(inbox.from(*s), Some(m));
+            last = Some(*s);
+        }
+        prop_assert_eq!(
+            inbox.count_where(|m| m.is_one()),
+            senders.iter().filter(|s| *s % 2 == 0).count()
+        );
+    }
+
+    /// Sampling k distinct indices really gives k distinct in-range
+    /// indices, for all k ≤ len.
+    #[test]
+    fn sample_indices_invariants(seed in any::<u64>(), len in 1usize..64, k_frac in 0.0f64..=1.0) {
+        let k = ((len as f64) * k_frac) as usize;
+        let mut rng = SimRng::new(seed);
+        let sample = rng.sample_indices(len, k);
+        prop_assert_eq!(sample.len(), k);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(sample.iter().all(|&i| i < len));
+    }
+}
