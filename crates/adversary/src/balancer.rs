@@ -30,9 +30,7 @@
 //! detects the variant — it has full information — and saves its budget.
 
 use synran_core::{CoinRule, StageKind, SynRanProcess};
-use synran_sim::{
-    Adversary, Bit, DeliveryFilter, Intervention, ProcessId, World,
-};
+use synran_sim::{Adversary, Bit, DeliveryFilter, Intervention, ProcessId, World};
 
 /// The coin-band stalling adversary for SynRan-family protocols.
 ///
@@ -183,8 +181,7 @@ impl Adversary<SynRanProcess> for Balancer {
                 return Intervention::none();
             }
             // Group B (every other survivor) keeps seeing the zeros.
-            let group_b: Vec<ProcessId> =
-                survivors.iter().copied().step_by(2).collect();
+            let group_b: Vec<ProcessId> = survivors.iter().copied().step_by(2).collect();
             let mut iv = Intervention::new();
             for &victim in &view.zeros {
                 iv = iv.kill(victim, DeliveryFilter::To(group_b.clone()));
@@ -247,11 +244,18 @@ mod tests {
             let verdict = check_consensus(
                 &SynRan::new(),
                 &inputs,
-                SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+                SimConfig::new(n)
+                    .faults(n - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
                 &mut Balancer::unbounded(),
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
         }
     }
 

@@ -23,9 +23,7 @@
 //! Experiment E10 reports both columns.
 
 use synran_core::{StageKind, SynRanProcess, Thresholds};
-use synran_sim::{
-    Adversary, Bit, DeliveryFilter, Intervention, ProcessId, World,
-};
+use synran_sim::{Adversary, Bit, DeliveryFilter, Intervention, ProcessId, World};
 
 /// The Lemma 4.2 boundary attack for SynRan-family protocols.
 ///
@@ -158,8 +156,7 @@ impl Adversary<SynRanProcess> for BoundaryAttack {
                         .alive_ids()
                         .filter(|&pid| {
                             let p = world.process(pid);
-                            p.stage() == StageKind::Probabilistic
-                                && p.preference() == Bit::Zero
+                            p.stage() == StageKind::Probabilistic && p.preference() == Bit::Zero
                         })
                         .collect(),
                 };
@@ -204,7 +201,10 @@ mod tests {
             let verdict = check_consensus(
                 &protocol,
                 &inputs,
-                SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+                SimConfig::new(n)
+                    .faults(n - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
                 &mut BoundaryAttack::targeting(target),
             )
             .unwrap();

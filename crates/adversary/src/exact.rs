@@ -31,8 +31,7 @@ use std::fmt;
 
 use synran_core::{PredictedStep, StageKind, SynRanMsg, SynRanProcess};
 use synran_sim::{
-    Bit, DeliveryFilter, Intervention, ProcessId, SendPattern, SimError, SimRng, StreamPhase,
-    World,
+    Bit, DeliveryFilter, Intervention, ProcessId, SendPattern, SimError, SimRng, StreamPhase, World,
 };
 
 /// Errors from exact evaluation.
@@ -163,8 +162,7 @@ impl ExactEvaluator {
     pub fn evaluate(&self, world: &World<SynRanProcess>) -> Result<ExactRange, ExactError> {
         let mut nodes = 0u64;
         let mut horizon_leaves = 0u64;
-        let (min_p1, max_p1) =
-            self.eval(world, self.horizon, &mut nodes, &mut horizon_leaves)?;
+        let (min_p1, max_p1) = self.eval(world, self.horizon, &mut nodes, &mut horizon_leaves)?;
         Ok(ExactRange {
             min_p1,
             max_p1,
@@ -190,11 +188,7 @@ impl ExactEvaluator {
             use synran_sim::Process as _;
             let d = world
                 .processes()
-                .find_map(|(_, p, status)| {
-                    (!status.is_failed())
-                        .then(|| p.decision())
-                        .flatten()
-                })
+                .find_map(|(_, p, status)| (!status.is_failed()).then(|| p.decision()).flatten())
                 .map_or(0.5, |b| f64::from(b.as_u8()));
             return Ok((d, d));
         }
@@ -358,14 +352,8 @@ mod tests {
         // survivors see O = 1 of base 3 (10 < 12 → decide 0).
         let eval = ExactEvaluator::new(6);
         let range = eval.evaluate(&tiny_world(3, 1, 2, 3)).unwrap();
-        assert!(
-            range.min_p1() < 0.25,
-            "adversary can push to 0: {range:?}"
-        );
-        assert!(
-            range.max_p1() > 0.75,
-            "adversary can push to 1: {range:?}"
-        );
+        assert!(range.min_p1() < 0.25, "adversary can push to 0: {range:?}");
+        assert!(range.max_p1() > 0.75, "adversary can push to 1: {range:?}");
     }
 
     #[test]

@@ -25,9 +25,7 @@
 //! paper's §1.2 landscape, measured.
 
 use synran_core::{LeaderMsg, LeaderProcess};
-use synran_sim::{
-    Adversary, Bit, DeliveryFilter, Intervention, ProcessId, SendPattern, World,
-};
+use synran_sim::{Adversary, Bit, DeliveryFilter, Intervention, ProcessId, SendPattern, World};
 
 /// One sender's visible Phase-A state in an R2 round.
 #[derive(Debug, Clone, Copy)]
@@ -94,8 +92,7 @@ impl LeaderHunter {
         let n = world.n();
         let mut holders: [Vec<ProcessId>; 2] = [Vec::new(), Vec::new()];
         for pid in world.alive_ids() {
-            if let Some(SendPattern::Broadcast(LeaderMsg::Est { value, .. })) = world.outbox(pid)
-            {
+            if let Some(SendPattern::Broadcast(LeaderMsg::Est { value, .. })) = world.outbox(pid) {
                 holders[usize::from(*value)].push(pid);
             }
         }
@@ -119,10 +116,11 @@ impl LeaderHunter {
         let mut locked: [Vec<ProcessId>; 2] = [Vec::new(), Vec::new()];
         for pid in world.alive_ids() {
             if let Some(SendPattern::Broadcast(LeaderMsg::Cand {
-                    candidate,
-                    fallback,
-                    priority,
-                })) = world.outbox(pid) {
+                candidate,
+                fallback,
+                priority,
+            })) = world.outbox(pid)
+            {
                 if let Some(v) = candidate {
                     locked[usize::from(*v)].push(pid);
                 }
@@ -237,7 +235,11 @@ mod tests {
                 &mut LeaderHunter::new(),
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
         }
     }
 

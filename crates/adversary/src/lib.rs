@@ -29,8 +29,8 @@ mod balancer;
 mod boundary;
 mod exact;
 mod leader_hunter;
-mod oblivious;
 mod lower_bound;
+mod oblivious;
 mod preference;
 mod simple;
 mod valency;
@@ -40,11 +40,11 @@ pub use balancer::Balancer;
 pub use boundary::BoundaryAttack;
 pub use exact::{ExactError, ExactEvaluator, ExactRange};
 pub use leader_hunter::LeaderHunter;
-pub use oblivious::Oblivious;
 pub use lower_bound::{find_adversarial_input, LowerBoundAdversary};
+pub use oblivious::Oblivious;
 pub use preference::PreferenceKiller;
 pub use simple::{RandomKiller, Storm};
-pub use walker::MessageWalker;
 pub use valency::{
     classify, classify_with, estimate_valency, BoxedAdversary, ProbeSet, Valence, ValencyEstimate,
 };
+pub use walker::MessageWalker;

@@ -151,7 +151,10 @@ impl Adversary<SynRanProcess> for LowerBoundAdversary {
         }
         let mut best: Option<(f64, usize, Intervention)> = None;
         for (i, candidate) in candidates.into_iter().enumerate() {
-            let probe_seed = self.seeder.derive(world.round().index().into()).derive(i as u64);
+            let probe_seed = self
+                .seeder
+                .derive(world.round().index().into())
+                .derive(i as u64);
             // Evaluate the candidate on a fork: apply it, then measure how
             // open the resulting state is.
             let mut fork = world.fork_bounded(probe_seed.clone().next_u64(), self.horizon);
@@ -214,9 +217,7 @@ pub fn find_adversarial_input(
                 protocol.spawn(pid, n, Bit::from(pid.index() < ones))
             })?;
             let report = world.run(&mut Passive)?;
-            let first = report
-                .non_faulty()
-                .find_map(|pid| report.decision_of(pid));
+            let first = report.non_faulty().find_map(|pid| report.decision_of(pid));
             if first == Some(Bit::One) {
                 sum += 1.0;
             }
@@ -252,7 +253,10 @@ mod tests {
         let mut passive_rounds = 0u32;
         let mut forced_rounds = 0u32;
         for seed in 0..4 {
-            let cfg = SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000);
+            let cfg = SimConfig::new(n)
+                .faults(n - 1)
+                .seed(seed)
+                .max_rounds(50_000);
             let v1 = check_consensus(&protocol, &inputs, cfg.clone(), &mut Passive).unwrap();
             assert!(v1.is_correct());
             passive_rounds += v1.rounds();

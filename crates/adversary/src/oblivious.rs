@@ -9,9 +9,7 @@
 //! The `intervene` implementation never reads anything from the world
 //! except the round number (and liveness/budget, to stay legal).
 
-use synran_sim::{
-    Adversary, DeliveryFilter, Intervention, Process, ProcessId, SimRng, World,
-};
+use synran_sim::{Adversary, DeliveryFilter, Intervention, Process, ProcessId, SimRng, World};
 
 /// One pre-committed kill.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,21 +149,35 @@ mod tests {
             let verdict = check_consensus(
                 &SynRan::new(),
                 &split_inputs(n),
-                SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+                SimConfig::new(n)
+                    .faults(n - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
                 &mut adversary,
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
 
             let mut adversary = Oblivious::new(n, 1, 40, seed);
             let verdict = check_consensus(
                 &LeaderConsensus::for_faults(n / 2 - 1),
                 &split_inputs(n),
-                SimConfig::new(n).faults(n / 2 - 1).seed(seed).max_rounds(50_000),
+                SimConfig::new(n)
+                    .faults(n / 2 - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
                 &mut adversary,
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
         }
     }
 

@@ -101,7 +101,11 @@ mod tests {
                 &mut PreferenceKiller::new(Bit::One, n),
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
             assert_eq!(
                 verdict.report().unanimous_decision(),
                 Some(Bit::Zero),
@@ -124,7 +128,11 @@ mod tests {
                 &mut PreferenceKiller::new(Bit::Zero, n),
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
             assert_eq!(
                 verdict.report().unanimous_decision(),
                 Some(Bit::One),
@@ -146,7 +154,11 @@ mod tests {
                 &mut PreferenceKiller::new(Bit::Zero, 2),
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
         }
     }
 
@@ -167,10 +179,7 @@ mod tests {
     #[test]
     fn name_reflects_target() {
         let k = PreferenceKiller::new(Bit::Zero, 1);
-        assert_eq!(
-            Adversary::<SynRanProcess>::name(&k),
-            "kill-zeros"
-        );
+        assert_eq!(Adversary::<SynRanProcess>::name(&k), "kill-zeros");
         assert_eq!(k.target(), Bit::Zero);
     }
 }

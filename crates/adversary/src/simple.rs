@@ -95,7 +95,10 @@ impl<P: Process> Adversary<P> for Storm {
         let alive: Vec<ProcessId> = world.alive_ids().collect();
         // Never kill everyone: leave at least one process so the execution
         // has a survivor to decide.
-        let k = world.budget().remaining().min(alive.len().saturating_sub(1));
+        let k = world
+            .budget()
+            .remaining()
+            .min(alive.len().saturating_sub(1));
         if k == 0 {
             return Intervention::none();
         }

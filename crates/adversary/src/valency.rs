@@ -22,15 +22,21 @@
 use std::fmt;
 
 use synran_core::SynRanProcess;
-use synran_sim::{Adversary, Bit, Passive, Process, SimError, SimRng, World};
+use synran_sim::{parallel, Adversary, Bit, Passive, Process, SimError, SimRng, World};
 
 use crate::{Balancer, PreferenceKiller, RandomKiller};
 
 /// A boxed, dynamically-dispatched adversary.
-pub type BoxedAdversary<P> = Box<dyn Adversary<P>>;
+///
+/// `Send` so that probe adversaries can be built and driven on the worker
+/// threads of the parallel fork-evaluation engine.
+pub type BoxedAdversary<P> = Box<dyn Adversary<P> + Send>;
 
 /// A named factory producing fresh probe adversaries per fork seed.
-type ProbeFactory<P> = (String, Box<dyn Fn(u64) -> BoxedAdversary<P>>);
+///
+/// `Send + Sync` because the factories are shared by reference across the
+/// estimator's worker threads.
+type ProbeFactory<P> = (String, Box<dyn Fn(u64) -> BoxedAdversary<P> + Send + Sync>);
 
 /// A family of reference adversaries used as probes for `min`/`max`
 /// `Pr[decide 1]`.
@@ -70,7 +76,7 @@ impl<P: Process> ProbeSet<P> {
     pub fn with_probe(
         mut self,
         name: impl Into<String>,
-        factory: impl Fn(u64) -> BoxedAdversary<P> + 'static,
+        factory: impl Fn(u64) -> BoxedAdversary<P> + Send + Sync + 'static,
     ) -> ProbeSet<P> {
         self.factories.push((name.into(), Box::new(factory)));
         self
@@ -239,9 +245,18 @@ pub fn classify_with(estimate: &ValencyEstimate, lo: f64, hi: f64) -> Valence {
 /// Forks that exceed the horizon count as undecided and contribute ½ —
 /// they genuinely are "still open" states.
 ///
+/// The `(probe, sample)` grid is evaluated on
+/// [`world.config().threads_value()`](synran_sim::SimConfig::threads)
+/// worker threads through [`synran_sim::parallel::fork_eval`]. Fork seeds
+/// are derived from the `(probe, sample)` index, never from execution
+/// order, so the estimate is **bit-for-bit identical for every thread
+/// count** (including the serial `threads = 1` path).
+///
 /// # Errors
 ///
-/// Propagates engine errors other than the horizon being reached.
+/// Propagates engine errors other than the horizon being reached; with
+/// several failing forks, the error of the lowest `(probe, sample)` index
+/// is returned regardless of thread count.
 ///
 /// # Panics
 ///
@@ -254,39 +269,53 @@ pub fn estimate_valency<P>(
     seed: u64,
 ) -> Result<ValencyEstimate, SimError>
 where
-    P: Process + Clone,
+    P: Process + Clone + Sync,
+    P::Msg: Sync,
 {
     assert!(!probes.is_empty(), "need at least one probe");
     assert!(samples > 0, "need at least one sample per probe");
+    // One work unit per (probe, sample) pair, in the serial nested-loop
+    // order. Seeds depend only on the pair's indices.
+    let seeder = SimRng::new(seed);
+    let fork_seeds: Vec<u64> = (0..probes.len() * samples)
+        .map(|unit| {
+            seeder
+                .derive((unit / samples) as u64)
+                .derive((unit % samples) as u64)
+                .next_u64()
+        })
+        .collect();
+    let outcomes = parallel::fork_eval(
+        world,
+        world.config().threads_value(),
+        &fork_seeds,
+        horizon,
+        |unit, mut fork| {
+            let factory = &probes.factories[unit / samples].1;
+            let mut adversary = factory(fork_seeds[unit]);
+            match fork.drive(&mut adversary) {
+                Ok(()) => {
+                    let report = fork.into_report();
+                    Ok(match first_decision(&report) {
+                        Some(Bit::One) => (1.0, false),
+                        Some(Bit::Zero) => (0.0, false),
+                        None => (0.5, true),
+                    })
+                }
+                Err(SimError::MaxRoundsExceeded { .. }) => Ok((0.5, true)),
+                Err(other) => Err(other),
+            }
+        },
+    )?;
+    // Reduce in unit order: float addition is not associative, so the fold
+    // must not depend on completion order.
     let mut per_probe = Vec::with_capacity(probes.len());
     let mut undecided_total = 0usize;
-    let seeder = SimRng::new(seed);
-    for (idx, (name, factory)) in probes.factories.iter().enumerate() {
+    for (idx, (name, _)) in probes.factories.iter().enumerate() {
         let mut sum = 0.0;
-        for s in 0..samples {
-            let fork_seed = seeder
-                .derive(idx as u64)
-                .derive(s as u64)
-                .next_u64();
-            let mut fork = world.fork_bounded(fork_seed, horizon);
-            let mut adversary = factory(fork_seed);
-            match fork.run(&mut adversary) {
-                Ok(report) => {
-                    sum += match first_decision(&report) {
-                        Some(Bit::One) => 1.0,
-                        Some(Bit::Zero) => 0.0,
-                        None => {
-                            undecided_total += 1;
-                            0.5
-                        }
-                    };
-                }
-                Err(SimError::MaxRoundsExceeded { .. }) => {
-                    undecided_total += 1;
-                    sum += 0.5;
-                }
-                Err(other) => return Err(other),
-            }
+        for &(score, undecided) in &outcomes[idx * samples..(idx + 1) * samples] {
+            sum += score;
+            undecided_total += usize::from(undecided);
         }
         per_probe.push((name.clone(), sum / samples as f64));
     }
@@ -308,9 +337,7 @@ where
 }
 
 fn first_decision(report: &synran_sim::RunReport) -> Option<Bit> {
-    report
-        .non_faulty()
-        .find_map(|pid| report.decision_of(pid))
+    report.non_faulty().find_map(|pid| report.decision_of(pid))
 }
 
 #[cfg(test)]
@@ -321,9 +348,10 @@ mod tests {
 
     fn world_with_inputs(n: usize, t: usize, ones: usize, seed: u64) -> World<SynRanProcess> {
         let protocol = SynRan::new();
-        World::new(SimConfig::new(n).faults(t).seed(seed).max_rounds(5_000), |pid| {
-            protocol.spawn(pid, n, Bit::from(pid.index() < ones))
-        })
+        World::new(
+            SimConfig::new(n).faults(t).seed(seed).max_rounds(5_000),
+            |pid| protocol.spawn(pid, n, Bit::from(pid.index() < ones)),
+        )
         .unwrap()
     }
 
@@ -406,6 +434,22 @@ mod tests {
         let a = estimate_valency(&world, &probes, 5, 60, 9).unwrap();
         let b = estimate_valency(&world, &probes, 5, 60, 9).unwrap();
         assert_eq!(a, b);
+        // The estimate is also invariant under the worker-thread count:
+        // the same world evaluated with 1, 2, and 8 threads must agree
+        // bit for bit (f64 equality via PartialEq).
+        for threads in [1usize, 2, 8] {
+            let threaded = World::new(
+                SimConfig::new(10)
+                    .faults(5)
+                    .seed(7)
+                    .max_rounds(5_000)
+                    .threads(threads),
+                |pid| SynRan::new().spawn(pid, 10, Bit::from(pid.index() < 5)),
+            )
+            .unwrap();
+            let est = estimate_valency(&threaded, &probes, 5, 60, 9).unwrap();
+            assert_eq!(est, a, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -417,7 +461,10 @@ mod tests {
         assert!(!syn.is_empty());
         assert!(ProbeSet::<SynRanProcess>::new().is_empty());
         let dbg = format!("{syn:?}");
-        assert!(dbg.contains("kill-ones") && dbg.contains("balancer"), "{dbg}");
+        assert!(
+            dbg.contains("kill-ones") && dbg.contains("balancer"),
+            "{dbg}"
+        );
     }
 
     #[test]

@@ -71,7 +71,13 @@ impl MessageWalker {
         let seed = self.seeder.next_u64();
         let mut fork = world.fork_bounded(seed, self.horizon);
         fork.deliver(intervention.clone())?;
-        estimate_valency(&fork, &self.probes, self.samples, self.horizon, seed ^ 0x5EED)
+        estimate_valency(
+            &fork,
+            &self.probes,
+            self.samples,
+            self.horizon,
+            seed ^ 0x5EED,
+        )
     }
 
     /// The walk's victim order: processes preferring the value the state
@@ -182,11 +188,18 @@ mod tests {
             let verdict = check_consensus(
                 &SynRan::new(),
                 &split_inputs(n),
-                SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+                SimConfig::new(n)
+                    .faults(n - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
                 &mut MessageWalker::new(3, 2, 25, seed),
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
         }
     }
 
@@ -196,7 +209,10 @@ mod tests {
         let mut passive_total = 0u32;
         let mut walked_total = 0u32;
         for seed in 0..5u64 {
-            let cfg = SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000);
+            let cfg = SimConfig::new(n)
+                .faults(n - 1)
+                .seed(seed)
+                .max_rounds(50_000);
             let v1 = check_consensus(&SynRan::new(), &split_inputs(n), cfg.clone(), &mut Passive)
                 .unwrap();
             passive_total += v1.rounds();

@@ -95,9 +95,7 @@ impl Binomial {
         if self.p == 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        self.ln_choose(k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        self.ln_choose(k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 
     /// `Pr(X = k)`.
@@ -180,7 +178,9 @@ mod tests {
         assert!((b.variance() - 21.0).abs() < 1e-9);
         assert_eq!(b.n(), 100);
         // Mode near the mean.
-        let mode = (0..=100).max_by(|&a, &c| b.pmf(a).total_cmp(&b.pmf(c))).unwrap();
+        let mode = (0..=100)
+            .max_by(|&a, &c| b.pmf(a).total_cmp(&b.pmf(c)))
+            .unwrap();
         assert!((29..=31).contains(&mode));
     }
 

@@ -131,7 +131,10 @@ mod tests {
         let n = 10_000usize;
         // t = √n: log factor is ln 3 — an O(1)-ish number of rounds.
         let small_t = tight_bound_rounds(n, 100);
-        assert!(small_t < 1.5, "t = √n should give O(1) rounds, got {small_t}");
+        assert!(
+            small_t < 1.5,
+            "t = √n should give O(1) rounds, got {small_t}"
+        );
         // t = n: within a constant of t/√(n ln n).
         let big_t = tight_bound_rounds(n, n);
         let reference = lower_bound_rounds(n, n);

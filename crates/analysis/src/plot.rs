@@ -102,10 +102,10 @@ impl AsciiPlot {
         let mut canvas = vec![vec![' '; self.width]; self.height];
         for (marker, pts) in &self.series {
             for &(x, y) in pts {
-                let cx = ((tx(x) - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx =
+                    ((tx(x) - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 // Row 0 is the top of the canvas.
                 let row = self.height - 1 - cy;
                 canvas[row][cx.min(self.width - 1)] = *marker;

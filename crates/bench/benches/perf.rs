@@ -1,111 +1,179 @@
-//! Criterion time benches guarding the simulator's performance.
+//! In-tree time benches guarding the simulator's performance.
 //!
 //! These are *performance* benches (the experiment harnesses live in
 //! `src/bin/`): engine round throughput, SynRan round cost, coin-game
-//! hide-set search, and valency estimation.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! hide-set search, valency estimation, and the serial-vs-parallel
+//! valency comparison. They run on the dependency-free timing loop in
+//! [`synran_bench::harness`] (`harness = false` in Cargo.toml).
+//!
+//! Usage (via `cargo bench`, which passes `--bench` to the binary):
+//!
+//! ```text
+//! cargo bench -p synran-bench --bench perf             # every group
+//! cargo bench -p synran-bench --bench perf -- valency  # name filter
+//! cargo bench -p synran-bench --bench perf -- --quick  # smoke profile
+//! ```
+//!
+//! Without `--bench` (e.g. when `cargo test` executes the target) the
+//! binary exits immediately so the test suite stays fast.
 
 use synran_adversary::{estimate_valency, Balancer, ProbeSet};
-use synran_coin::{
-    CombinedHider, ExhaustiveHider, GreedyHider, HideSearch, MajorityGame, Outcome,
-};
+use synran_bench::harness::{Bencher, Measurement};
+use synran_coin::{CombinedHider, ExhaustiveHider, GreedyHider, HideSearch, MajorityGame, Outcome};
 use synran_core::{ConsensusProtocol, SynRan};
-use synran_sim::{Bit, Passive, SimConfig, SimRng, World};
 use synran_sim::testing::CountDown;
+use synran_sim::{parallel, Bit, Passive, SimConfig, SimRng, World};
 
-fn bench_engine_rounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_rounds");
+/// Runs `f` and prints its measurement when `name` passes the filter.
+fn run(b: &Bencher, filter: &[String], name: &str, f: impl FnMut()) {
+    if !filter.is_empty() && !filter.iter().any(|pat| name.contains(pat.as_str())) {
+        return;
+    }
+    let m: Measurement = b.bench(name, f);
+    println!("{}", m.render());
+}
+
+fn bench_engine_rounds(b: &Bencher, filter: &[String]) {
     for n in [64usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::new("broadcast", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut world = World::new(SimConfig::new(n).seed(1), |_| {
-                    CountDown::new(10, Bit::One)
-                })
+        run(b, filter, &format!("engine_rounds/broadcast/{n}"), || {
+            let mut world = World::new(SimConfig::new(n).seed(1), |_| CountDown::new(10, Bit::One))
                 .expect("valid config");
-                world.run(&mut Passive).expect("run")
-            });
+            world.run(&mut Passive).expect("run");
         });
     }
-    group.finish();
 }
 
-fn bench_synran(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synran_run");
+fn bench_synran(b: &Bencher, filter: &[String]) {
     for n in [64usize, 256] {
-        group.bench_with_input(BenchmarkId::new("passive_split", n), &n, |b, &n| {
-            let protocol = SynRan::new();
-            b.iter(|| {
-                let mut world = World::new(SimConfig::new(n).seed(2), |pid| {
-                    protocol.spawn(pid, n, Bit::from(pid.index() < n / 2))
-                })
-                .expect("valid config");
-                world.run(&mut Passive).expect("run")
-            });
+        let protocol = SynRan::new();
+        run(b, filter, &format!("synran_run/passive_split/{n}"), || {
+            let mut world = World::new(SimConfig::new(n).seed(2), |pid| {
+                protocol.spawn(pid, n, Bit::from(pid.index() < n / 2))
+            })
+            .expect("valid config");
+            world.run(&mut Passive).expect("run");
         });
-        group.bench_with_input(BenchmarkId::new("balancer_split", n), &n, |b, &n| {
-            let protocol = SynRan::new();
-            b.iter(|| {
-                let mut world = World::new(
-                    SimConfig::new(n).faults(n - 1).seed(2).max_rounds(100_000),
-                    |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
-                )
-                .expect("valid config");
-                world.run(&mut Balancer::unbounded()).expect("run")
-            });
+        run(b, filter, &format!("synran_run/balancer_split/{n}"), || {
+            let mut world = World::new(
+                SimConfig::new(n).faults(n - 1).seed(2).max_rounds(100_000),
+                |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+            )
+            .expect("valid config");
+            world.run(&mut Balancer::unbounded()).expect("run");
         });
     }
-    group.finish();
 }
 
-fn bench_coin_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coin_search");
+fn bench_coin_search(b: &Bencher, filter: &[String]) {
     let mut rng = SimRng::new(3);
     for n in [16usize, 64, 256] {
         let game = MajorityGame::new(n);
         let values: Vec<u32> = (0..n).map(|_| rng.bit().as_u8().into()).collect();
         let t = (n as f64).sqrt().ceil() as usize * 2;
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| GreedyHider.force(&game, &values, t, Outcome(0)));
+        run(b, filter, &format!("coin_search/greedy/{n}"), || {
+            std::hint::black_box(GreedyHider.force(&game, &values, t, Outcome(0)));
         });
         if n <= 16 {
-            group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
-                let searcher = ExhaustiveHider::default();
-                b.iter(|| searcher.force(&game, &values, 3, Outcome(0)));
+            let searcher = ExhaustiveHider::default();
+            run(b, filter, &format!("coin_search/exhaustive/{n}"), || {
+                std::hint::black_box(searcher.force(&game, &values, 3, Outcome(0)));
             });
         }
-        group.bench_with_input(BenchmarkId::new("combined", n), &n, |b, _| {
-            let searcher = CombinedHider::with_budget(1 << 12);
-            b.iter(|| searcher.force(&game, &values, t, Outcome(1)));
+        let searcher = CombinedHider::with_budget(1 << 12);
+        run(b, filter, &format!("coin_search/combined/{n}"), || {
+            std::hint::black_box(searcher.force(&game, &values, t, Outcome(1)));
         });
     }
-    group.finish();
 }
 
-fn bench_valency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("valency_estimate");
-    group.sample_size(10);
+/// Builds the phase-A'd world the valency benches probe.
+fn valency_world(n: usize, threads: usize) -> World<synran_core::SynRanProcess> {
+    let protocol = SynRan::new();
+    let mut world = World::new(
+        SimConfig::new(n)
+            .faults(n / 2)
+            .seed(4)
+            .max_rounds(10_000)
+            .threads(threads),
+        |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+    )
+    .expect("valid config");
+    world.phase_a().expect("phase A");
+    world
+}
+
+fn bench_valency(b: &Bencher, filter: &[String]) {
     for n in [16usize, 32] {
-        group.bench_with_input(BenchmarkId::new("synran_probes", n), &n, |b, &n| {
-            let protocol = SynRan::new();
-            let mut world = World::new(
-                SimConfig::new(n).faults(n / 2).seed(4).max_rounds(10_000),
-                |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
-            )
-            .expect("valid config");
-            world.phase_a().expect("phase A");
-            let probes = ProbeSet::synran(n / 2);
-            b.iter(|| estimate_valency(&world, &probes, 4, 40, 5).expect("estimate"));
-        });
+        let world = valency_world(n, 1);
+        let probes = ProbeSet::synran(n / 2);
+        run(
+            b,
+            filter,
+            &format!("valency_estimate/synran_probes/{n}"),
+            || {
+                std::hint::black_box(
+                    estimate_valency(&world, &probes, 4, 40, 5).expect("estimate"),
+                );
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_engine_rounds,
-    bench_synran,
-    bench_coin_search,
-    bench_valency
-);
-criterion_main!(benches);
+/// Serial vs parallel `estimate_valency` on the same inputs. The results
+/// are asserted byte-identical before timing, so the comparison is purely
+/// about speed — determinism is a precondition, not a casualty.
+fn bench_valency_parallel(b: &Bencher, filter: &[String]) {
+    let cores = parallel::resolve_threads(parallel::AUTO_THREADS);
+    let par_threads = cores.max(2);
+    for n in [16usize, 32] {
+        let serial_world = valency_world(n, 1);
+        let parallel_world = valency_world(n, par_threads);
+        let probes = ProbeSet::synran(n / 2);
+        let a = estimate_valency(&serial_world, &probes, 4, 40, 5).expect("estimate");
+        let c = estimate_valency(&parallel_world, &probes, 4, 40, 5).expect("estimate");
+        assert_eq!(a, c, "parallel estimate diverged from serial at n={n}");
+        run(
+            b,
+            filter,
+            &format!("valency_estimate_parallel/threads_1/{n}"),
+            || {
+                std::hint::black_box(
+                    estimate_valency(&serial_world, &probes, 4, 40, 5).expect("estimate"),
+                );
+            },
+        );
+        run(
+            b,
+            filter,
+            &format!("valency_estimate_parallel/threads_{par_threads}/{n}"),
+            || {
+                std::hint::black_box(
+                    estimate_valency(&parallel_world, &probes, 4, 40, 5).expect("estimate"),
+                );
+            },
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Cargo passes `--bench` under `cargo bench`; under `cargo test` the
+    // target runs without it, and we skip the (slow) measurements.
+    if !args.iter().any(|a| a == "--bench") {
+        println!("perf: pass --bench (i.e. run via `cargo bench`) to measure");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let filter: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let b = if quick {
+        Bencher::quick()
+    } else {
+        Bencher::default()
+    };
+
+    bench_engine_rounds(&b, &filter);
+    bench_synran(&b, &filter);
+    bench_coin_search(&b, &filter);
+    bench_valency(&b, &filter);
+    bench_valency_parallel(&b, &filter);
+}

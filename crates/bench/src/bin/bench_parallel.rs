@@ -1,0 +1,188 @@
+//! Records the serial-vs-parallel baseline in `BENCH_parallel.json`.
+//!
+//! For each system size the binary times `estimate_valency` and
+//! `run_batch` at `threads = 1` and `threads = max(2, cores)`, asserts the
+//! two configurations produce byte-identical results, and writes the wall
+//! times plus the measured speedup to a hand-rolled JSON file at the repo
+//! root (or `--out <path>`).
+//!
+//! The acceptance criterion — at least 2x speedup at n = 256 — applies on
+//! machines with at least 4 cores; the JSON records the core count the
+//! numbers were taken on so single-core CI runs are interpretable.
+//!
+//! ```text
+//! cargo run --release -p synran-bench --bin bench_parallel
+//! ```
+
+use std::time::Instant;
+
+use synran_adversary::{estimate_valency, Balancer, ProbeSet};
+use synran_bench::Args;
+use synran_core::{run_batch, ConsensusProtocol, InputAssignment, SynRan};
+use synran_sim::{parallel, Bit, SimConfig, World};
+
+/// One serial-vs-parallel comparison row.
+struct Row {
+    group: &'static str,
+    n: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds (after one warm-up call).
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn valency_row(n: usize, threads: usize, samples: usize, horizon: u32, reps: usize) -> Row {
+    let build = |threads: usize| {
+        let protocol = SynRan::new();
+        let mut world = World::new(
+            SimConfig::new(n)
+                .faults(n / 2)
+                .seed(4)
+                .max_rounds(10_000)
+                .threads(threads),
+            |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+        )
+        .expect("valid config");
+        world.phase_a().expect("phase A");
+        world
+    };
+    let serial = build(1);
+    let par = build(threads);
+    let probes = ProbeSet::synran(n / 2);
+    let a = estimate_valency(&serial, &probes, samples, horizon, 5).expect("estimate");
+    let b = estimate_valency(&par, &probes, samples, horizon, 5).expect("estimate");
+    let identical = format!("{a:?}") == format!("{b:?}");
+    assert!(identical, "parallel valency estimate diverged at n={n}");
+    Row {
+        group: "valency_estimate",
+        n,
+        serial_ms: time_ms(reps, || {
+            estimate_valency(&serial, &probes, samples, horizon, 5).expect("estimate")
+        }),
+        parallel_ms: time_ms(reps, || {
+            estimate_valency(&par, &probes, samples, horizon, 5).expect("estimate")
+        }),
+        identical,
+    }
+}
+
+fn batch_row(n: usize, threads: usize, runs: usize, reps: usize) -> Row {
+    let protocol = SynRan::new();
+    let cfg = |threads: usize| {
+        SimConfig::new(n)
+            .faults(n - 1)
+            .max_rounds(100_000)
+            .threads(threads)
+    };
+    let go = |threads: usize| {
+        run_batch(
+            &protocol,
+            InputAssignment::Split { ones: n / 2 },
+            &cfg(threads),
+            runs,
+            9,
+            |_| Balancer::unbounded(),
+        )
+        .expect("batch")
+    };
+    let a = go(1);
+    let b = go(threads);
+    let identical = format!("{a:?}") == format!("{b:?}");
+    assert!(identical, "parallel batch outcome diverged at n={n}");
+    Row {
+        group: "seed_batch",
+        n,
+        serial_ms: time_ms(reps, || go(1)),
+        parallel_ms: time_ms(reps, || go(threads)),
+        identical,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.get_usize("reps", 3);
+    let samples = args.get_usize("samples", 4);
+    let horizon = u32::try_from(args.get_usize("horizon", 40)).expect("horizon fits u32");
+    let runs = args.get_usize("runs", 16);
+    let cores = parallel::resolve_threads(parallel::AUTO_THREADS);
+    let threads = {
+        let requested = args.get_usize("threads", 0);
+        if requested == 0 {
+            cores.max(2)
+        } else {
+            requested
+        }
+    };
+    let out = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map_or_else(|| "BENCH_parallel.json".to_string(), |w| w[1].clone());
+
+    println!("bench_parallel: cores={cores} threads={threads} reps={reps}");
+    let mut rows = Vec::new();
+    for n in [64usize, 256] {
+        let v = valency_row(n, threads, samples, horizon, reps);
+        println!(
+            "valency_estimate n={n}: serial {:.2} ms, {threads}-thread {:.2} ms ({:.2}x)",
+            v.serial_ms,
+            v.parallel_ms,
+            v.speedup()
+        );
+        rows.push(v);
+        let s = batch_row(n, threads, runs, reps);
+        println!(
+            "seed_batch       n={n}: serial {:.2} ms, {threads}-thread {:.2} ms ({:.2}x)",
+            s.serial_ms,
+            s.parallel_ms,
+            s.speedup()
+        );
+        rows.push(s);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"bench_parallel\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"threads_parallel\": {threads},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(
+        "  \"note\": \"speedup target (>=2x at n=256) applies on machines with >=4 cores; \
+         results at every thread count are byte-identical by construction\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"n\": {}, \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+            r.group,
+            r.n,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup(),
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write baseline");
+    println!("wrote {out}");
+}

@@ -38,7 +38,10 @@ fn violation_rate(
         let verdict = check_consensus(
             &protocol,
             &inputs,
-            SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(100_000),
+            SimConfig::new(n)
+                .faults(n - 1)
+                .seed(seed)
+                .max_rounds(100_000),
             &mut BoundaryAttack::targeting(target),
         )
         .expect("engine error");
@@ -69,7 +72,10 @@ fn main() {
         ("narrow gap (13/12)", Thresholds::new(13, 12, 10, 8, 2)),
         ("zero gap (12/12)", Thresholds::new(12, 12, 10, 8, 2)),
         ("narrow 0-side (10/9)", Thresholds::new(14, 12, 10, 9, 2)),
-        ("big margin, ok (15/12, s=3)", Thresholds::new(15, 12, 9, 6, 3)),
+        (
+            "big margin, ok (15/12, s=3)",
+            Thresholds::new(15, 12, 9, 6, 3),
+        ),
     ];
     let mut table = Table::new([
         "variant",

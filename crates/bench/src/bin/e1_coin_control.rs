@@ -9,13 +9,13 @@
 //! `h = 4·√(n·ln n)` and reports, per game and per outcome, the fraction
 //! of sampled input vectors from which the searcher forces that outcome.
 
+use synran_analysis::{fmt_f64, Table};
 use synran_bench::{banner, section, Args};
+use synran_coin::HideSearch;
 use synran_coin::{
     bias_radius, estimate_control, exact_influences, exact_uncontrollable, CoinGame, GreedyHider,
     MajorityGame, OneSidedGame, Outcome, ParityGame, RecursiveMajorityGame, TribesGame,
 };
-use synran_analysis::{fmt_f64, Table};
-use synran_coin::HideSearch;
 use synran_sim::SimRng;
 
 fn run_game<G: CoinGame>(game: &G, n: usize, samples: usize, seed: u64, table: &mut Table) {
@@ -57,9 +57,7 @@ fn main() {
     println!("hide budget t = c · h where h = 4√(n·ln n); {samples} sampled input vectors per row");
 
     section("binary games");
-    let mut table = Table::new([
-        "game", "n", "c", "t", "force→0", "force→1", "controlled",
-    ]);
+    let mut table = Table::new(["game", "n", "c", "t", "force→0", "force→1", "controlled"]);
     for &n in &sizes {
         run_game(&MajorityGame::new(n), n, samples, seed, &mut table);
         run_game(&ParityGame::new(n), n, samples, seed ^ 1, &mut table);
@@ -87,7 +85,12 @@ fn main() {
             t.to_string(),
             fmt_f64(u0, 4),
             fmt_f64(u1, 4),
-            if u0.min(u1) < 1.0 / n16 as f64 { "yes" } else { "no" }.to_string(),
+            if u0.min(u1) < 1.0 / n16 as f64 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     print!("{exact_table}");
@@ -99,7 +102,11 @@ fn main() {
     // but fail-stop hiding is not input corruption: recursive majority
     // has a fraction of flat majority's influence and the same ~√n
     // forcing cost toward 0.
-    let mut inf_table = Table::new(["game (n ≈ 2k)", "max influence", "hides to force →0 (median)"]);
+    let mut inf_table = Table::new([
+        "game (n ≈ 2k)",
+        "max influence",
+        "hides to force →0 (median)",
+    ]);
     let mut rng = SimRng::new(seed ^ 9);
     for game in [
         Box::new(MajorityGame::new(2187)) as Box<dyn CoinGame>,

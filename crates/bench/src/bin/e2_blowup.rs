@@ -28,7 +28,9 @@ fn main() {
     let mut rows = 0usize;
     for n in (8..=max_dim).step_by(4) {
         for density in [0.02f64, 0.1, 0.4] {
-            let mut rng = SimRng::new(seed).derive(u64::from(n)).derive((density * 100.0) as u64);
+            let mut rng = SimRng::new(seed)
+                .derive(u64::from(n))
+                .derive((density * 100.0) as u64);
             let a = HypercubeSet::random(n, density, &mut rng);
             if a.is_empty() {
                 continue;

@@ -26,14 +26,15 @@ enum Attack {
 
 fn mean_rounds(n: usize, t: usize, runs: usize, seed: u64, attack: Attack) -> (f64, f64, f64) {
     let protocol = SynRan::new();
-    let inputs: Vec<synran_sim::Bit> = (0..n)
-        .map(|i| synran_sim::Bit::from(i < n / 2))
-        .collect();
+    let inputs: Vec<synran_sim::Bit> = (0..n).map(|i| synran_sim::Bit::from(i < n / 2)).collect();
     let mut rounds = Vec::new();
     let mut kills = Vec::new();
     for r in 0..runs {
         let run_seed = SimRng::new(seed).derive(r as u64).next_u64();
-        let cfg = SimConfig::new(n).faults(t).seed(run_seed).max_rounds(100_000);
+        let cfg = SimConfig::new(n)
+            .faults(t)
+            .seed(run_seed)
+            .max_rounds(100_000);
         let verdict = match attack {
             Attack::Passive => check_consensus(&protocol, &inputs, cfg, &mut Passive),
             Attack::LowerBound { cap, samples } => {
@@ -77,7 +78,14 @@ fn main() {
 
     section("forced rounds vs the t/√(n·ln n) curve");
     let mut table = Table::new([
-        "n", "t", "cap/round", "passive", "forced", "±95%", "kills used", "t/√(n·ln n)",
+        "n",
+        "t",
+        "cap/round",
+        "passive",
+        "forced",
+        "±95%",
+        "kills used",
+        "t/√(n·ln n)",
         "forced ÷ curve",
     ]);
     let mut measured = Vec::new();

@@ -13,7 +13,7 @@ use synran_bench::{banner, section, Args};
 use synran_core::{run_batch, InputAssignment, SynRan, SynRanProcess};
 use synran_sim::{Adversary, Bit, Passive, SimConfig};
 
-type Factory = Box<dyn Fn(u64) -> Box<dyn Adversary<SynRanProcess>>>;
+type Factory = Box<dyn Fn(u64) -> Box<dyn Adversary<SynRanProcess> + Send> + Sync>;
 
 fn adversaries(n: usize) -> Vec<(&'static str, Factory)> {
     let rate = (n as f64).sqrt().ceil() as usize;
@@ -50,7 +50,13 @@ fn main() {
 
     section("mean rounds by adversary");
     let mut table = Table::new([
-        "n", "adversary", "mean rounds", "max", "kills used (mean)", "bound curve", "ratio",
+        "n",
+        "adversary",
+        "mean rounds",
+        "max",
+        "kills used (mean)",
+        "bound curve",
+        "ratio",
     ]);
     let mut worst_measured = Vec::new();
     let mut worst_predicted = Vec::new();

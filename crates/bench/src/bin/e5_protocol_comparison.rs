@@ -15,9 +15,7 @@
 use synran_adversary::{Balancer, RandomKiller};
 use synran_analysis::{deterministic_rounds, fmt_f64, tight_bound_rounds, Table};
 use synran_bench::{banner, section, Args};
-use synran_core::{
-    run_batch, ConsensusProtocol, FloodingConsensus, InputAssignment, SynRan,
-};
+use synran_core::{run_batch, ConsensusProtocol, FloodingConsensus, InputAssignment, SynRan};
 use synran_sim::{Passive, SimConfig};
 
 fn main() {
@@ -36,7 +34,13 @@ fn main() {
     let t_values = [2, sqrt_n, n / 4, n / 2, n - 1];
 
     section("rounds to agreement under a passive adversary");
-    let mut table = Table::new(["t", "flooding", "synran", "synran-sym", "bound t/√(n·ln(2+t/√n))"]);
+    let mut table = Table::new([
+        "t",
+        "flooding",
+        "synran",
+        "synran-sym",
+        "bound t/√(n·ln(2+t/√n))",
+    ]);
     for &t in &t_values {
         let cfg = SimConfig::new(n).faults(t).max_rounds(200_000);
         let flooding = run_batch(
@@ -167,9 +171,14 @@ fn main() {
         Balancer::unbounded()
     })
     .expect("engine error");
-    let sym_u = run_batch(&SynRan::symmetric(), unanimous, &cfg, runs, seed ^ 4, |_| {
-        Balancer::unbounded()
-    })
+    let sym_u = run_batch(
+        &SynRan::symmetric(),
+        unanimous,
+        &cfg,
+        runs,
+        seed ^ 4,
+        |_| Balancer::unbounded(),
+    )
     .expect("engine error");
     let mut validity_table = Table::new(["protocol", "runs", "validity violations"]);
     validity_table.row([

@@ -49,7 +49,14 @@ fn main() {
     );
 
     section("Lemma 4.4: exact tail vs bound");
-    let mut table = Table::new(["n", "t", "deviation t√n", "exact tail", "bound", "exact ≥ bound"]);
+    let mut table = Table::new([
+        "n",
+        "t",
+        "deviation t√n",
+        "exact tail",
+        "bound",
+        "exact ≥ bound",
+    ]);
     let mut violations = 0usize;
     for n in [64usize, 256, 1024, 4096, 16384, 65536] {
         let b = Binomial::fair(n);

@@ -87,7 +87,13 @@ fn main() {
         }
         print!("{table}");
         let mut plot = AsciiPlot::new(56, 12).log_x();
-        plot.series('m', &series.iter().map(|&(t, mean, _)| (t as f64, mean)).collect::<Vec<_>>());
+        plot.series(
+            'm',
+            &series
+                .iter()
+                .map(|&(t, mean, _)| (t as f64, mean))
+                .collect::<Vec<_>>(),
+        );
         plot.series(
             'c',
             &series
@@ -97,9 +103,7 @@ fn main() {
         );
         println!("\nmeasured (m) vs curve (c), rounds over t:");
         print!("{}", plot.render());
-        let plateau_span = plateau
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        let plateau_span = plateau.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
             - plateau.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         println!(
             "\nplateau (t ≤ √n): means span {} rounds — the O(1) regime",

@@ -24,7 +24,10 @@ fn blocks_of_one_run(n: usize, seed: u64, cap: Option<usize>) -> (Vec<(usize, us
     let verdict = check_consensus(
         &SynRan::new(),
         &inputs,
-        SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(200_000),
+        SimConfig::new(n)
+            .faults(n - 1)
+            .seed(seed)
+            .max_rounds(200_000),
         &mut adversary,
     )
     .expect("engine error");
@@ -119,7 +122,12 @@ fn main() {
 
     section("ablation: capping the balancer's per-round spend");
     let mut ablation = Table::new(["per-round cap", "mean rounds", "mean kills"]);
-    for cap in [None, Some(law(n).ceil() as usize), Some((law(n) / 4.0).ceil() as usize), Some(1)] {
+    for cap in [
+        None,
+        Some(law(n).ceil() as usize),
+        Some((law(n) / 4.0).ceil() as usize),
+        Some(1),
+    ] {
         let mut rounds_acc = Accumulator::new();
         let mut kills_acc = Accumulator::new();
         for r in 0..runs {

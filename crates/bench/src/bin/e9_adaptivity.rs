@@ -41,7 +41,10 @@ where
         let verdict = check_consensus(
             protocol,
             &inputs,
-            SimConfig::new(n).faults(t).seed(run_seed).max_rounds(200_000),
+            SimConfig::new(n)
+                .faults(t)
+                .seed(run_seed)
+                .max_rounds(200_000),
             &mut make(run_seed),
         )
         .expect("engine error");
@@ -75,7 +78,13 @@ fn main() {
 
     section("LeaderConsensus (CMS-style): static vs adaptive");
     let mut table = Table::new([
-        "n", "t", "adversary", "mean rounds", "±95%", "kills", "rounds/t",
+        "n",
+        "t",
+        "adversary",
+        "mean rounds",
+        "±95%",
+        "kills",
+        "rounds/t",
     ]);
     for &n in &sizes {
         let t = (n - 1) / 2;
@@ -127,12 +136,12 @@ fn main() {
             let (m, ci, k) = if oblivious {
                 measure(&protocol, n, t, runs, seed ^ 3, |s| {
                     Box::new(Oblivious::new(n, rate, 200, s))
-                        as Box<dyn Adversary<synran_core::SynRanProcess>>
+                        as Box<dyn Adversary<synran_core::SynRanProcess> + Send>
                 })
             } else {
                 measure(&protocol, n, t, runs, seed ^ 4, |_| {
                     Box::new(Balancer::unbounded())
-                        as Box<dyn Adversary<synran_core::SynRanProcess>>
+                        as Box<dyn Adversary<synran_core::SynRanProcess> + Send>
                 })
             };
             syn_table.row([

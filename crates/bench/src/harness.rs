@@ -1,0 +1,178 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace keeps its performance benches in-tree (see
+//! `benches/perf.rs`, built with `harness = false`) instead of depending on
+//! an external benchmarking framework. This module provides the timing
+//! loop those benches share: warm-up, automatic iteration calibration
+//! against a wall-clock budget, and per-iteration min/mean/max statistics.
+//!
+//! Results are wall-clock measurements via [`std::time::Instant`];
+//! [`std::hint::black_box`] guards the measured closure's result so the
+//! optimiser cannot delete the work.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `"engine_rounds/broadcast/64"`.
+    pub name: String,
+    /// Timed iterations (after warm-up).
+    pub iters: u32,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: f64,
+}
+
+impl Measurement {
+    /// Mean iteration time in milliseconds.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+
+    /// One table line: `name  mean  [min .. max]  (iters)`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<44} {:>12}  [{} .. {}]  ({} iters)",
+            self.name,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns),
+            fmt_ns(self.max_ns),
+            self.iters
+        )
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+#[must_use]
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The timing loop's knobs; [`Bencher::default`] suits most benches.
+#[derive(Debug, Clone)]
+pub struct Bencher {
+    /// Wall-clock budget for the measured phase of one benchmark.
+    pub target: Duration,
+    /// Wall-clock budget for the warm-up phase.
+    pub warmup: Duration,
+    /// Lower bound on timed iterations, whatever the budget says.
+    pub min_iters: u32,
+    /// Upper bound on timed iterations (cheap closures would otherwise
+    /// spin for millions).
+    pub max_iters: u32,
+}
+
+impl Default for Bencher {
+    fn default() -> Bencher {
+        Bencher {
+            target: Duration::from_millis(300),
+            warmup: Duration::from_millis(100),
+            min_iters: 5,
+            max_iters: 10_000,
+        }
+    }
+}
+
+impl Bencher {
+    /// A faster profile for smoke runs (`--quick`).
+    #[must_use]
+    pub fn quick() -> Bencher {
+        Bencher {
+            target: Duration::from_millis(60),
+            warmup: Duration::from_millis(20),
+            min_iters: 2,
+            max_iters: 1_000,
+        }
+    }
+
+    /// Times `f`: warms up for [`Bencher::warmup`], calibrates an
+    /// iteration count from the observed speed, then measures every
+    /// iteration individually.
+    pub fn bench<T>(&self, name: impl Into<String>, mut f: impl FnMut() -> T) -> Measurement {
+        // Warm-up, also serving as the calibration sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= self.max_iters {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / f64::from(warm_iters);
+        let budget = self.target.as_secs_f64();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let iters = ((budget / per_iter.max(1e-9)) as u32).clamp(self.min_iters, self.max_iters);
+
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            total += ns;
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        Measurement {
+            name: name.into(),
+            iters,
+            mean_ns: total / f64::from(iters),
+            min_ns: min,
+            max_ns: max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let b = Bencher {
+            target: Duration::from_millis(5),
+            warmup: Duration::from_millis(1),
+            min_iters: 3,
+            max_iters: 50,
+        };
+        let m = b.bench("spin", || (0..1000u64).sum::<u64>());
+        assert!(m.iters >= 3);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+        assert_eq!(m.name, "spin");
+    }
+
+    #[test]
+    fn formats_units() {
+        assert!(fmt_ns(500.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("µs"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with(" s"));
+        let m = Measurement {
+            name: "x".into(),
+            iters: 1,
+            mean_ns: 2e6,
+            min_ns: 1e6,
+            max_ns: 3e6,
+        };
+        assert!((m.mean_ms() - 2.0).abs() < 1e-9);
+        assert!(m.render().contains("ms"));
+    }
+}

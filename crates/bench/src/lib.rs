@@ -1,9 +1,10 @@
 //! # synran-bench — experiment harnesses and performance benches
 //!
 //! One binary per experiment in DESIGN.md's index (E1–E10), each printing
-//! the table EXPERIMENTS.md records, plus Criterion benches guarding the
-//! simulator's performance. This library holds the tiny bits they share:
-//! a no-dependency `--key value` argument parser and output helpers.
+//! the table EXPERIMENTS.md records, plus the in-tree performance benches
+//! in `benches/perf.rs` guarding the simulator's speed. This library holds
+//! the tiny bits they share: a no-dependency `--key value` argument parser,
+//! output helpers, and the [`harness`] timing loop the benches run on.
 //!
 //! Run an experiment with, e.g.:
 //!
@@ -16,6 +17,8 @@
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
+
+pub mod harness;
 
 /// A minimal `--key value` command-line parser (plus bare `--flag`s).
 ///

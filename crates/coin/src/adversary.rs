@@ -237,8 +237,7 @@ impl HideSearch for GreedyHider {
 /// This is the searcher the control experiments (E1) use: cheap on the
 /// cases preference-guided hiding solves, exact on the rest up to the
 /// budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CombinedHider {
     exhaustive: ExhaustiveHider,
 }
@@ -253,7 +252,6 @@ impl CombinedHider {
         }
     }
 }
-
 
 impl HideSearch for CombinedHider {
     fn force<G: CoinGame + ?Sized>(
@@ -274,7 +272,9 @@ impl HideSearch for CombinedHider {
 mod tests {
     use super::*;
     use crate::game::with_hidden;
-    use crate::games::{DictatorGame, MajorityGame, ModKGame, OneSidedGame, ParityGame, TribesGame};
+    use crate::games::{
+        DictatorGame, MajorityGame, ModKGame, OneSidedGame, ParityGame, TribesGame,
+    };
     use synran_sim::SimRng;
 
     #[test]

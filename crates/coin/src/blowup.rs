@@ -236,7 +236,11 @@ pub fn schechtman_bound(n: usize, alpha: f64, l: u32) -> f64 {
 pub fn lemma_2_1_blowup_bound(n: usize) -> f64 {
     // (4√(n ln n) − 2√(n ln n))² / 4n = (2√(n ln n))²/4n = ln n,
     // so the bound is exactly 1 − e^{−ln n} = 1 − 1/n.
-    schechtman_bound(n, 1.0 / n as f64, crate::control::bias_radius(n).ceil() as u32)
+    schechtman_bound(
+        n,
+        1.0 / n as f64,
+        crate::control::bias_radius(n).ceil() as u32,
+    )
 }
 
 #[cfg(test)]
@@ -374,10 +378,7 @@ mod tests {
         for n in [16usize, 64, 256, 1024] {
             let b = lemma_2_1_blowup_bound(n);
             let target = 1.0 - 1.0 / n as f64;
-            assert!(
-                b >= target - 0.02,
-                "n={n}: bound {b} should be ≈ {target}"
-            );
+            assert!(b >= target - 0.02, "n={n}: bound {b} should be ≈ {target}");
         }
     }
 }

@@ -142,7 +142,9 @@ pub trait CoinGame {
 /// ```
 #[must_use]
 pub fn sample_inputs<G: CoinGame + ?Sized>(game: &G, rng: &mut SimRng) -> Vec<Value> {
-    (0..game.players()).map(|p| game.sample_input(p, rng)).collect()
+    (0..game.players())
+        .map(|p| game.sample_input(p, rng))
+        .collect()
 }
 
 /// Converts raw values to a fully-visible sequence.

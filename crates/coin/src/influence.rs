@@ -65,7 +65,11 @@ impl InfluenceProfile {
 pub fn exact_influences<G: CoinGame + ?Sized>(game: &G) -> InfluenceProfile {
     let n = game.players();
     assert!(n <= 22, "exact influences need n ≤ 22 (got {n})");
-    assert_eq!(game.outcomes(), 2, "influences are defined for binary games");
+    assert_eq!(
+        game.outcomes(),
+        2,
+        "influences are defined for binary games"
+    );
     let mut flips = vec![0u64; n];
     let total = 1u64 << n;
     let mut seq: Vec<Visible> = all_visible(&vec![0; n]);
@@ -100,7 +104,11 @@ pub fn estimate_influences<G: CoinGame + ?Sized>(
     rng: &mut SimRng,
 ) -> InfluenceProfile {
     assert!(samples > 0, "need at least one sample");
-    assert_eq!(game.outcomes(), 2, "influences are defined for binary games");
+    assert_eq!(
+        game.outcomes(),
+        2,
+        "influences are defined for binary games"
+    );
     let n = game.players();
     let mut flips = vec![0u64; n];
     for _ in 0..samples {
@@ -117,19 +125,14 @@ pub fn estimate_influences<G: CoinGame + ?Sized>(
         }
     }
     InfluenceProfile {
-        influences: flips
-            .iter()
-            .map(|&f| f as f64 / samples as f64)
-            .collect(),
+        influences: flips.iter().map(|&f| f as f64 / samples as f64).collect(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::games::{
-        DictatorGame, MajorityGame, ParityGame, RecursiveMajorityGame, TribesGame,
-    };
+    use crate::games::{DictatorGame, MajorityGame, ParityGame, RecursiveMajorityGame, TribesGame};
 
     #[test]
     fn dictator_concentrates_all_influence() {
@@ -159,7 +162,11 @@ mod tests {
         let p = exact_influences(&MajorityGame::new(n));
         let expected = 70.0 / 256.0; // C(8,4)/2^8
         for i in 0..n {
-            assert!((p.of(i) - expected).abs() < 1e-12, "player {i}: {}", p.of(i));
+            assert!(
+                (p.of(i) - expected).abs() < 1e-12,
+                "player {i}: {}",
+                p.of(i)
+            );
         }
     }
 

@@ -56,9 +56,7 @@ mod game;
 mod games;
 mod influence;
 
-pub use adversary::{
-    CombinedHider, ExhaustiveHider, GreedyHider, HideSearch, SearchOutcome,
-};
+pub use adversary::{CombinedHider, ExhaustiveHider, GreedyHider, HideSearch, SearchOutcome};
 pub use blowup::{
     lemma_2_1_blowup_bound, schechtman_bound, schechtman_l0, HypercubeSet, MAX_DIMENSION,
 };
@@ -66,8 +64,8 @@ pub use control::{
     bias_radius, control_threshold, estimate_control, exact_uncontrollable, ControlEstimate,
 };
 pub use game::{all_visible, sample_inputs, with_hidden, CoinGame, Outcome, Value, Visible};
-pub use influence::{estimate_influences, exact_influences, InfluenceProfile};
 pub use games::{
     DictatorGame, MajorityGame, ModKGame, OneSidedGame, ParityGame, RecursiveMajorityGame,
     ThresholdGame, TribesGame,
 };
+pub use influence::{estimate_influences, exact_influences, InfluenceProfile};

@@ -111,8 +111,10 @@ where
     assert_eq!(inputs.len(), cfg.n(), "one input per process");
     let n = cfg.n();
     let mut world = World::new(cfg, |pid| protocol.spawn(pid, n, inputs[pid.index()]))?;
-    let report = world.run(adversary)?;
-    Ok(evaluate(inputs, report))
+    // The world is discarded here, so consume it into the report instead
+    // of cloning the metrics and trace out of it.
+    world.drive(adversary)?;
+    Ok(evaluate(inputs, world.into_report()))
 }
 
 /// Evaluates the consensus conditions on an existing report.
@@ -193,7 +195,7 @@ pub fn evaluate(inputs: &[Bit], report: RunReport) -> ConsensusVerdict {
 mod tests {
     use super::*;
     use crate::{FloodingConsensus, SynRan};
-    use synran_sim::{Intervention, Passive, ProcessId, Process, World};
+    use synran_sim::{Intervention, Passive, Process, ProcessId, World};
 
     #[test]
     fn correct_run_passes_all_conditions() {
@@ -205,7 +207,11 @@ mod tests {
             &mut Passive,
         )
         .unwrap();
-        assert!(verdict.is_correct(), "violations: {:?}", verdict.violations());
+        assert!(
+            verdict.is_correct(),
+            "violations: {:?}",
+            verdict.violations()
+        );
         assert!(verdict.rounds() >= 1);
     }
 
@@ -256,13 +262,8 @@ mod tests {
             }
         }
         let inputs = [Bit::Zero, Bit::One];
-        let verdict = check_consensus(
-            &Selfish,
-            &inputs,
-            SimConfig::new(2).seed(0),
-            &mut Passive,
-        )
-        .unwrap();
+        let verdict =
+            check_consensus(&Selfish, &inputs, SimConfig::new(2).seed(0), &mut Passive).unwrap();
         assert!(!verdict.agreement());
         assert!(verdict.termination());
         assert!(verdict.validity(), "inputs were mixed; validity is vacuous");
@@ -278,10 +279,7 @@ mod tests {
         struct Contrarian(Bit, bool);
         impl Process for Contrarian {
             type Msg = Bit;
-            fn send(
-                &mut self,
-                _: &mut synran_sim::Context<'_>,
-            ) -> synran_sim::SendPattern<Bit> {
+            fn send(&mut self, _: &mut synran_sim::Context<'_>) -> synran_sim::SendPattern<Bit> {
                 synran_sim::SendPattern::Silent
             }
             fn receive(&mut self, _: &mut synran_sim::Context<'_>, _: &synran_sim::Inbox<Bit>) {
@@ -314,10 +312,7 @@ mod tests {
         .unwrap();
         assert!(!verdict.validity());
         assert!(verdict.agreement(), "they all decided 0 together");
-        assert!(verdict
-            .violations()
-            .iter()
-            .any(|v| v.contains("validity")));
+        assert!(verdict.violations().iter().any(|v| v.contains("validity")));
     }
 
     #[test]

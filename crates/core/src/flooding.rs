@@ -185,9 +185,7 @@ impl Process for FloodingProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use synran_sim::{
-        Adversary, DeliveryFilter, Intervention, Passive, SimConfig, World,
-    };
+    use synran_sim::{Adversary, DeliveryFilter, Intervention, Passive, SimConfig, World};
 
     fn run_flooding(
         n: usize,
@@ -253,9 +251,9 @@ mod tests {
             fn intervene(&mut self, world: &World<FloodingProcess>) -> Intervention {
                 // Find an alive process that knows 0 and kill it, letting
                 // only the next process in line hear it.
-                let holder = world.alive_ids().find(|&pid| {
-                    world.process(pid).known().contains(Bit::Zero)
-                });
+                let holder = world
+                    .alive_ids()
+                    .find(|&pid| world.process(pid).known().contains(Bit::Zero));
                 let Some(victim) = holder else {
                     return Intervention::none();
                 };
@@ -268,8 +266,7 @@ mod tests {
                     .filter(|&p| p != victim)
                     .nth(self.next_victim % world.alive_count().saturating_sub(1).max(1));
                 match confidant {
-                    Some(c) => Intervention::new()
-                        .kill(victim, DeliveryFilter::To(vec![c])),
+                    Some(c) => Intervention::new().kill(victim, DeliveryFilter::To(vec![c])),
                     None => Intervention::none(),
                 }
             }

@@ -233,9 +233,8 @@ impl Process for LeaderProcess {
             return; // halting after the announcement round
         }
         // A surviving announcement ends the game for its hearers.
-        if let Some(LeaderMsg::Decide(v)) = inbox
-            .messages()
-            .find(|m| matches!(m, LeaderMsg::Decide(_)))
+        if let Some(LeaderMsg::Decide(v)) =
+            inbox.messages().find(|m| matches!(m, LeaderMsg::Decide(_)))
         {
             self.on_decide(*v);
             return;
@@ -372,10 +371,7 @@ mod tests {
         impl Adversary<LeaderProcess> for Steady {
             fn intervene(&mut self, world: &World<LeaderProcess>) -> Intervention {
                 if world.budget().remaining() > 0 && world.alive_count() > 1 {
-                    Intervention::kill_all_silent([world
-                        .alive_ids()
-                        .next()
-                        .expect("alive")])
+                    Intervention::kill_all_silent([world.alive_ids().next().expect("alive")])
                 } else {
                     Intervention::none()
                 }
@@ -391,7 +387,11 @@ mod tests {
                 &mut Steady,
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
             assert!(
                 verdict.rounds() <= 12,
                 "seed {seed}: decisions must not wait for quiescence, took {}",
@@ -414,13 +414,9 @@ mod tests {
                     if budget == 0 || world.alive_count() <= iv.kills().len() + 1 {
                         break;
                     }
-                    if let Some(SendPattern::Broadcast(LeaderMsg::Decide(_))) = world.outbox(pid)
-                    {
+                    if let Some(SendPattern::Broadcast(LeaderMsg::Decide(_))) = world.outbox(pid) {
                         if Some(pid) != confidant {
-                            iv = iv.kill(
-                                pid,
-                                DeliveryFilter::To(confidant.into_iter().collect()),
-                            );
+                            iv = iv.kill(pid, DeliveryFilter::To(confidant.into_iter().collect()));
                             budget -= 1;
                         }
                     }
@@ -438,7 +434,11 @@ mod tests {
                 &mut AnnounceCutter,
             )
             .unwrap();
-            assert!(verdict.is_correct(), "seed {seed}: {:?}", verdict.violations());
+            assert!(
+                verdict.is_correct(),
+                "seed {seed}: {:?}",
+                verdict.violations()
+            );
         }
     }
 

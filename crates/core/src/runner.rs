@@ -5,7 +5,7 @@
 //! them, checks every run for consensus violations, and returns the raw
 //! per-run observations for `synran-analysis` to summarise.
 
-use synran_sim::{Adversary, Bit, SimConfig, SimError, SimRng};
+use synran_sim::{parallel, Adversary, Bit, SimConfig, SimError, SimRng};
 
 use crate::checker::{check_consensus, ConsensusVerdict};
 use crate::ConsensusProtocol;
@@ -117,38 +117,51 @@ impl BatchOutcome {
 /// `make_adversary` is called once per run with the run's seed so stateful
 /// adversaries start fresh; `base_cfg`'s seed is re-derived per run.
 ///
+/// Runs execute on [`base_cfg.threads()`](SimConfig::threads) worker
+/// threads via [`synran_sim::parallel`]. Every run's seed is a pure
+/// function of `(base_seed, run_index)` and the outcome is folded in run
+/// order, so the batch is **bit-for-bit identical for every thread count**.
+///
 /// # Errors
 ///
 /// Propagates engine errors other than round-limit overruns, which are
-/// tallied as [`BatchOutcome::timeouts`].
+/// tallied as [`BatchOutcome::timeouts`]; with several failing runs, the
+/// error of the lowest run index is returned regardless of thread count.
 pub fn run_batch<P, A>(
     protocol: &P,
     assignment: InputAssignment,
     base_cfg: &SimConfig,
     runs: usize,
     base_seed: u64,
-    mut make_adversary: impl FnMut(u64) -> A,
+    make_adversary: impl Fn(u64) -> A + Sync,
 ) -> Result<BatchOutcome, SimError>
 where
-    P: ConsensusProtocol,
+    P: ConsensusProtocol + Sync,
     A: Adversary<P::Proc>,
 {
-    let mut outcome = BatchOutcome {
-        rounds: Vec::with_capacity(runs),
-        kills: Vec::with_capacity(runs),
-        incorrect: Vec::new(),
-        timeouts: 0,
-    };
-    for i in 0..runs {
+    let results = parallel::try_par_map(base_cfg.threads_value(), runs, |i| {
         let seed = SimRng::new(base_seed).derive(i as u64).next_u64();
         let mut input_rng = SimRng::new(seed).derive(0xD1CE);
         let inputs = assignment.materialize(base_cfg.n(), &mut input_rng);
         let cfg = base_cfg.clone().seed(seed);
         let mut adversary = make_adversary(seed);
         match check_consensus(protocol, &inputs, cfg, &mut adversary) {
-            Ok(verdict) => record(&mut outcome, seed, &verdict),
-            Err(SimError::MaxRoundsExceeded { .. }) => outcome.timeouts += 1,
-            Err(other) => return Err(other),
+            Ok(verdict) => Ok(Some((seed, verdict))),
+            Err(SimError::MaxRoundsExceeded { .. }) => Ok(None),
+            Err(other) => Err(other),
+        }
+    })?;
+    let mut outcome = BatchOutcome {
+        rounds: Vec::with_capacity(runs),
+        kills: Vec::with_capacity(runs),
+        incorrect: Vec::new(),
+        timeouts: 0,
+    };
+    // Fold in run order, not completion order, to keep seed-order outputs.
+    for result in &results {
+        match result {
+            Some((seed, verdict)) => record(&mut outcome, *seed, verdict),
+            None => outcome.timeouts += 1,
         }
     }
     Ok(outcome)
@@ -156,9 +169,7 @@ where
 
 fn record(outcome: &mut BatchOutcome, seed: u64, verdict: &ConsensusVerdict) {
     outcome.rounds.push(verdict.rounds());
-    outcome
-        .kills
-        .push(verdict.report().metrics().total_kills());
+    outcome.kills.push(verdict.report().metrics().total_kills());
     if !verdict.is_correct() {
         outcome
             .incorrect
@@ -178,14 +189,14 @@ mod tests {
         let u = InputAssignment::Unanimous(Bit::One).materialize(4, &mut rng);
         assert_eq!(u, vec![Bit::One; 4]);
         let s = InputAssignment::Split { ones: 2 }.materialize(5, &mut rng);
-        assert_eq!(
-            s,
-            vec![Bit::One, Bit::One, Bit::Zero, Bit::Zero, Bit::Zero]
-        );
+        assert_eq!(s, vec![Bit::One, Bit::One, Bit::Zero, Bit::Zero, Bit::Zero]);
         let r = InputAssignment::Random.materialize(64, &mut rng);
         let ones = r.iter().filter(|b| b.is_one()).count();
         assert!(ones > 10 && ones < 54, "implausibly skewed: {ones}");
-        assert_eq!(InputAssignment::even_split(9), InputAssignment::Split { ones: 4 });
+        assert_eq!(
+            InputAssignment::even_split(9),
+            InputAssignment::Split { ones: 4 }
+        );
     }
 
     #[test]
@@ -224,7 +235,11 @@ mod tests {
             |_| Passive,
         )
         .unwrap();
-        assert!(outcome.all_correct(), "violations: {:?}", outcome.incorrect());
+        assert!(
+            outcome.all_correct(),
+            "violations: {:?}",
+            outcome.incorrect()
+        );
         assert_eq!(outcome.rounds().len(), 25);
         // Fault-free SynRan converges fast.
         assert!(outcome.mean_rounds() < 20.0);

@@ -109,9 +109,7 @@ impl Thresholds {
         stability: u32,
     ) -> Thresholds {
         assert!(
-            decide_one >= propose_one
-                && propose_one >= propose_zero
-                && propose_zero >= decide_zero,
+            decide_one >= propose_one && propose_one >= propose_zero && propose_zero >= decide_zero,
             "thresholds must be ordered decide_one ≥ propose_one ≥ propose_zero ≥ decide_zero"
         );
         assert!(
@@ -534,10 +532,8 @@ impl SynRanProcess {
                 SynRanMsg::Known(set) => known.union_with(*set),
             }
         }
-        self.stage = Stage::Deterministic(FloodingCore::new(
-            known,
-            deterministic_stage_rounds(self.n),
-        ));
+        self.stage =
+            Stage::Deterministic(FloodingCore::new(known, deterministic_stage_rounds(self.n)));
     }
 }
 
@@ -546,12 +542,8 @@ impl Process for SynRanProcess {
 
     fn send(&mut self, _ctx: &mut Context<'_>) -> SendPattern<SynRanMsg> {
         match &self.stage {
-            Stage::Probabilistic | Stage::Delay => {
-                SendPattern::Broadcast(SynRanMsg::Pref(self.b))
-            }
-            Stage::Deterministic(core) => {
-                SendPattern::Broadcast(SynRanMsg::Known(core.outgoing()))
-            }
+            Stage::Probabilistic | Stage::Delay => SendPattern::Broadcast(SynRanMsg::Pref(self.b)),
+            Stage::Deterministic(core) => SendPattern::Broadcast(SynRanMsg::Known(core.outgoing())),
         }
     }
 
@@ -605,16 +597,14 @@ mod tests {
     fn unanimous_one_decides_in_two_rounds() {
         // Round 1: everyone sees n ones → decide 1. Round 2: stability
         // holds trivially → STOP.
-        let report =
-            run_synran(SynRan::new(), 9, 0, |_| Bit::One, &mut Passive, 1).unwrap();
+        let report = run_synran(SynRan::new(), 9, 0, |_| Bit::One, &mut Passive, 1).unwrap();
         assert_eq!(report.unanimous_decision(), Some(Bit::One));
         assert_eq!(report.rounds(), 2);
     }
 
     #[test]
     fn unanimous_zero_decides_in_two_rounds() {
-        let report =
-            run_synran(SynRan::new(), 9, 0, |_| Bit::Zero, &mut Passive, 1).unwrap();
+        let report = run_synran(SynRan::new(), 9, 0, |_| Bit::Zero, &mut Passive, 1).unwrap();
         assert_eq!(report.unanimous_decision(), Some(Bit::Zero));
         assert_eq!(report.rounds(), 2);
     }
@@ -622,9 +612,15 @@ mod tests {
     #[test]
     fn split_inputs_reach_agreement_fault_free() {
         for seed in 0..20 {
-            let report =
-                run_synran(SynRan::new(), 21, 0, |i| Bit::from(i % 2 == 0), &mut Passive, seed)
-                    .unwrap();
+            let report = run_synran(
+                SynRan::new(),
+                21,
+                0,
+                |i| Bit::from(i % 2 == 0),
+                &mut Passive,
+                seed,
+            )
+            .unwrap();
             assert!(
                 report.unanimous_decision().is_some(),
                 "seed {seed}: no agreement"
@@ -694,8 +690,7 @@ mod tests {
             }
         }
         for v in [Bit::Zero, Bit::One] {
-            let report =
-                run_synran(SynRan::new(), 12, 6, |_| v, &mut RandomKiller, 11).unwrap();
+            let report = run_synran(SynRan::new(), 12, 6, |_| v, &mut RandomKiller, 11).unwrap();
             assert_eq!(report.unanimous_decision(), Some(v), "validity violated");
         }
     }
@@ -747,8 +742,7 @@ mod tests {
         // the population vanished since.
         let mut p = SynRanProcess::new(100, Bit::One, CoinRule::OneSided);
         let mut rng = synran_sim::SimRng::new(0);
-        let mut ctx =
-            Context::new(ProcessId::new(0), 100, synran_sim::Round::FIRST, &mut rng);
+        let mut ctx = Context::new(ProcessId::new(0), 100, synran_sim::Round::FIRST, &mut rng);
         // Round 1: 100 ones → decide 1 tentatively.
         let inbox: Inbox<SynRanMsg> = ProcessId::all(100)
             .map(|pid| (pid, SynRanMsg::Pref(Bit::One)))

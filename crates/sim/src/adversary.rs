@@ -19,7 +19,7 @@
 //! candidate interventions — the simulator equivalent of "knows the
 //! probability of every outcome". See `synran-adversary` for the estimators.
 
-use crate::{ProcessId, Process, World};
+use crate::{Process, ProcessId, World};
 
 /// A strategy for failing processes, consulted once per round between
 /// Phase A (sending) and Phase B (delivery).

@@ -27,6 +27,7 @@ pub struct SimConfig {
     seed: u64,
     max_rounds: u32,
     trace: bool,
+    threads: usize,
 }
 
 /// Default cap on execution length, generous enough for every protocol in
@@ -44,6 +45,7 @@ impl SimConfig {
             seed: 0,
             max_rounds: DEFAULT_MAX_ROUNDS,
             trace: false,
+            threads: crate::parallel::AUTO_THREADS,
         }
     }
 
@@ -76,6 +78,22 @@ impl SimConfig {
         self
     }
 
+    /// Sets the worker-thread budget for parallel fan-outs (valency
+    /// estimation, seeded batches). `0` ([`parallel::AUTO_THREADS`]) means
+    /// "use all available parallelism"; `1` forces the serial path.
+    ///
+    /// Results are **identical for every setting** — see the determinism
+    /// contract in [`parallel`] — so this knob only trades wall-clock time
+    /// for cores.
+    ///
+    /// [`parallel`]: crate::parallel
+    /// [`parallel::AUTO_THREADS`]: crate::parallel::AUTO_THREADS
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> SimConfig {
+        self.threads = threads;
+        self
+    }
+
     /// Number of processes.
     #[must_use]
     pub fn n(&self) -> usize {
@@ -104,6 +122,19 @@ impl SimConfig {
     #[must_use]
     pub fn trace_enabled(&self) -> bool {
         self.trace
+    }
+
+    /// The configured worker-thread budget (`0` = auto).
+    #[must_use]
+    pub fn threads_value(&self) -> usize {
+        self.threads
+    }
+
+    /// The worker-thread budget with `0` resolved to the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        crate::parallel::resolve_threads(self.threads)
     }
 
     /// Checks internal consistency.
@@ -138,12 +169,19 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let cfg = SimConfig::new(16).faults(5).seed(9).max_rounds(77).trace(true);
+        let cfg = SimConfig::new(16)
+            .faults(5)
+            .seed(9)
+            .max_rounds(77)
+            .trace(true)
+            .threads(3);
         assert_eq!(cfg.n(), 16);
         assert_eq!(cfg.t(), 5);
         assert_eq!(cfg.seed_value(), 9);
         assert_eq!(cfg.max_rounds_value(), 77);
         assert!(cfg.trace_enabled());
+        assert_eq!(cfg.threads_value(), 3);
+        assert_eq!(cfg.resolved_threads(), 3);
         cfg.validate().unwrap();
     }
 
@@ -154,6 +192,8 @@ mod tests {
         assert_eq!(cfg.seed_value(), 0);
         assert_eq!(cfg.max_rounds_value(), DEFAULT_MAX_ROUNDS);
         assert!(!cfg.trace_enabled());
+        assert_eq!(cfg.threads_value(), crate::parallel::AUTO_THREADS);
+        assert!(cfg.resolved_threads() >= 1, "auto resolves to at least one");
         cfg.validate().unwrap();
     }
 

@@ -143,7 +143,10 @@ mod tests {
             remaining: 2,
         };
         let s = e.to_string();
-        assert!(s.contains("round 4") && s.contains('9') && s.contains('2'), "{s}");
+        assert!(
+            s.contains("round 4") && s.contains('9') && s.contains('2'),
+            "{s}"
+        );
 
         let e = SimError::MaxRoundsExceeded { limit: 100 };
         assert!(e.to_string().contains("100"));

@@ -64,6 +64,7 @@ mod error;
 mod id;
 mod message;
 mod metrics;
+pub mod parallel;
 mod process;
 mod report;
 mod rng;

@@ -151,6 +151,15 @@ impl<M> Inbox<M> {
     pub fn count_where(&self, mut pred: impl FnMut(&M) -> bool) -> usize {
         self.msgs.iter().filter(|(_, m)| pred(m)).count()
     }
+
+    /// Consumes the inbox, returning the backing buffer.
+    ///
+    /// The round engine uses this to recycle inbox allocations across
+    /// rounds instead of rebuilding every `Vec` from scratch.
+    #[must_use]
+    pub fn into_messages(self) -> Vec<(ProcessId, M)> {
+        self.msgs
+    }
 }
 
 impl<M> Default for Inbox<M> {

@@ -1,0 +1,242 @@
+//! Deterministic parallel fan-out for fork evaluation and seed batches.
+//!
+//! The valency estimator and the batch runner both evaluate many
+//! *independent* continuations of a seeded computation: every unit of work
+//! is a pure function of its index (the fork seed is derived from the index
+//! through [`SimRng::derive`](crate::SimRng::derive), never from shared
+//! state). That makes the fan-out embarrassingly parallel **and** lets us
+//! promise something stronger than most thread pools do:
+//!
+//! > **Determinism contract.** For a pure `f`, `par_map(threads, total, f)`
+//! > returns exactly `(0..total).map(f).collect()` — bit for bit — for
+//! > *every* `threads` value. Worker count changes wall-clock time, never
+//! > results.
+//!
+//! The contract holds because results are written into the output slot of
+//! their *index*, not in completion order, and because nothing about the
+//! work depends on which worker runs it. Reductions over the results must
+//! preserve this: callers fold the returned `Vec` left-to-right (floating
+//! point addition is not associative, so summing in completion order would
+//! break replay determinism).
+//!
+//! Workers are plain [`std::thread::scope`] threads over contiguous index
+//! chunks — no work stealing, no shared queues, no dependencies beyond
+//! `std`. Chunking is by `ceil(total / threads)` so the split is itself a
+//! pure function of `(total, threads)`.
+
+use crate::{Adversary, Process, RunReport, SimError, World};
+
+/// Sentinel for "use all available parallelism" in thread-count knobs.
+pub const AUTO_THREADS: usize = 0;
+
+/// Resolves a requested thread count: [`AUTO_THREADS`] (`0`) becomes the
+/// machine's available parallelism, anything else is taken literally.
+///
+/// # Examples
+///
+/// ```
+/// use synran_sim::parallel::resolve_threads;
+/// assert_eq!(resolve_threads(4), 4);
+/// assert!(resolve_threads(0) >= 1);
+/// ```
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == AUTO_THREADS {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `0..total` on up to `threads` worker threads.
+///
+/// Results are identical to the serial `(0..total).map(f)` regardless of
+/// `threads` (see the module docs for the contract). `threads <= 1` runs
+/// inline without spawning.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, F>(threads: usize, total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(total);
+    if workers <= 1 {
+        return (0..total).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    let chunk = total.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, out) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let base = w * chunk;
+            scope.spawn(move || {
+                for (offset, slot) in out.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was assigned to exactly one worker"))
+        .collect()
+}
+
+/// Like [`par_map`] for fallible work: maps `f` over `0..total`, returning
+/// the error of the **lowest failing index** (not the first to fail in wall
+/// time) so error propagation is as deterministic as the results.
+///
+/// All indices are evaluated even when one fails — the work units are
+/// independent, and aborting early would make the set of side effects (none
+/// for pure `f`, but wall time and logs for instrumented ones) depend on
+/// scheduling.
+///
+/// # Errors
+///
+/// Returns the error produced at the smallest index for which `f` failed.
+pub fn try_par_map<T, E, F>(threads: usize, total: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let mut out = Vec::with_capacity(total);
+    for result in par_map(threads, total, f) {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+/// Forks `world` once per seed and evaluates each fork on the worker pool.
+///
+/// The canonical fork-evaluation primitive behind valency estimation: the
+/// paused `world` is shared immutably, each worker clones it via
+/// [`World::fork_bounded`] with `seeds[i]` (capping exploration at
+/// `horizon` rounds past the pause point), and `eval` consumes the fork.
+/// Per the [module contract](self), results are identical for every
+/// `threads` value.
+///
+/// # Errors
+///
+/// Returns the error of the lowest failing index.
+pub fn fork_eval<P, T, E, F>(
+    world: &World<P>,
+    threads: usize,
+    seeds: &[u64],
+    horizon: u32,
+    eval: F,
+) -> Result<Vec<T>, E>
+where
+    P: Process + Clone + Sync,
+    P::Msg: Clone + Sync,
+    T: Send,
+    E: Send,
+    F: Fn(usize, World<P>) -> Result<T, E> + Sync,
+{
+    try_par_map(threads, seeds.len(), |i| {
+        eval(i, world.fork_bounded(seeds[i], horizon))
+    })
+}
+
+/// Convenience for the common "run each fork to completion under its own
+/// adversary" shape: forks `world` per seed, builds an adversary with
+/// `make_adversary(seed)`, drives the fork, and hands the outcome (the
+/// consumed world's report, or the engine error) to `score`.
+///
+/// # Errors
+///
+/// Returns the error of the lowest failing index.
+pub fn fork_run<P, A, T, E, FA, FS>(
+    world: &World<P>,
+    threads: usize,
+    seeds: &[u64],
+    horizon: u32,
+    make_adversary: FA,
+    score: FS,
+) -> Result<Vec<T>, E>
+where
+    P: Process + Clone + Sync,
+    P::Msg: Clone + Sync,
+    A: Adversary<P>,
+    T: Send,
+    E: Send,
+    FA: Fn(u64) -> A + Sync,
+    FS: Fn(Result<RunReport, SimError>) -> Result<T, E> + Sync,
+{
+    fork_eval(world, threads, seeds, horizon, |i, mut fork| {
+        let mut adversary = make_adversary(seeds[i]);
+        let outcome = match fork.drive(&mut adversary) {
+            Ok(()) => Ok(fork.into_report()),
+            Err(e) => Err(e),
+        };
+        score(outcome)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::Echo;
+    use crate::{Bit, Passive, SimConfig};
+
+    #[test]
+    fn par_map_matches_serial_for_any_thread_count() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 3, 8, 64, 97, 200] {
+            let parallel = par_map(threads, 97, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        assert_eq!(par_map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(8, 1, |i| i), vec![0]);
+        assert_eq!(par_map(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_failing_index() {
+        for threads in [1, 2, 8] {
+            let r: Result<Vec<usize>, usize> =
+                try_par_map(threads, 10, |i| if i % 3 == 2 { Err(i) } else { Ok(i) });
+            assert_eq!(r, Err(2), "threads = {threads}");
+        }
+        let ok: Result<Vec<usize>, usize> = try_par_map(4, 5, Ok);
+        assert_eq!(ok, Ok(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn resolve_threads_contract() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(AUTO_THREADS) >= 1);
+    }
+
+    #[test]
+    fn fork_eval_is_thread_count_invariant() {
+        let world = World::new(SimConfig::new(6).seed(11), |pid| {
+            Echo::new(Bit::from(pid.index() % 2 == 0))
+        })
+        .unwrap();
+        let seeds: Vec<u64> = (0..13).map(|i| 1000 + i).collect();
+        let run = |threads: usize| -> Vec<Vec<Option<Bit>>> {
+            fork_run(
+                &world,
+                threads,
+                &seeds,
+                50,
+                |_| Passive,
+                |outcome| Ok::<_, SimError>(outcome.unwrap().decisions().to_vec()),
+            )
+            .unwrap()
+        };
+        let baseline = run(1);
+        for threads in [2, 5, 13] {
+            assert_eq!(run(threads), baseline, "threads = {threads}");
+        }
+    }
+}

@@ -76,7 +76,11 @@ impl RunReport {
     /// "non-faulty" processes of the consensus conditions. Includes halted
     /// processes and processes still alive when the run stopped.
     pub fn non_faulty(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.statuses.iter().enumerate().filter(|&(_i, s)| !s.is_failed()).map(|(i, _s)| ProcessId::new(i))
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|&(_i, s)| !s.is_failed())
+            .map(|(i, _s)| ProcessId::new(i))
     }
 
     /// If every non-faulty process decided the same value, returns it.
@@ -108,10 +112,7 @@ mod tests {
     use super::*;
     use crate::Round;
 
-    fn report(
-        decisions: Vec<Option<Bit>>,
-        statuses: Vec<ProcessStatus>,
-    ) -> RunReport {
+    fn report(decisions: Vec<Option<Bit>>, statuses: Vec<ProcessStatus>) -> RunReport {
         let n = decisions.len();
         RunReport::new(decisions, statuses, Metrics::new(n), Trace::disabled())
     }

@@ -156,6 +156,14 @@ impl SimRng {
         }
     }
 
+    /// Fills `dest` with uniformly random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
     /// Draws `k` distinct indices from `0..len`, in random order.
     ///
     /// # Panics
@@ -185,28 +193,6 @@ pub enum StreamPhase {
     Send = 0,
     /// End of Phase B: processing the round's inbox.
     Receive = 1,
-}
-
-impl rand::RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        SimRng::next_u32(self)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        SimRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let bytes = self.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
 }
 
 #[cfg(test)]
@@ -331,8 +317,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_deterministic() {
-        use rand::RngCore;
+    fn fill_bytes_deterministic() {
         let mut a = SimRng::new(31);
         let mut b = SimRng::new(31);
         let mut ba = [0u8; 13];

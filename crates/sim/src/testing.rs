@@ -164,7 +164,10 @@ mod tests {
         .unwrap();
         let report = w.run(&mut Passive).unwrap();
         assert_eq!(report.decision_of(crate::ProcessId::new(0)), Some(Bit::One));
-        assert_eq!(report.decision_of(crate::ProcessId::new(1)), Some(Bit::Zero));
+        assert_eq!(
+            report.decision_of(crate::ProcessId::new(1)),
+            Some(Bit::Zero)
+        );
     }
 
     #[test]
@@ -177,8 +180,7 @@ mod tests {
     #[test]
     fn coin_caller_coins_are_reproducible_per_seed() {
         let run = |seed| {
-            let mut w =
-                World::new(SimConfig::new(4).seed(seed), |_| CoinCaller::new(6)).unwrap();
+            let mut w = World::new(SimConfig::new(4).seed(seed), |_| CoinCaller::new(6)).unwrap();
             w.run(&mut Passive).unwrap();
             w.processes()
                 .map(|(_, p, _)| p.history().to_vec())
@@ -192,12 +194,18 @@ mod tests {
     fn coin_caller_processes_flip_independently() {
         let mut w = World::new(SimConfig::new(8).seed(123), |_| CoinCaller::new(16)).unwrap();
         w.run(&mut Passive).unwrap();
-        let histories: Vec<_> = w.processes().map(|(_, p, _)| p.history().to_vec()).collect();
+        let histories: Vec<_> = w
+            .processes()
+            .map(|(_, p, _)| p.history().to_vec())
+            .collect();
         // With 8 processes × 16 fair coins, identical histories are
         // overwhelmingly unlikely; equality would indicate stream reuse.
         for i in 0..histories.len() {
             for j in (i + 1)..histories.len() {
-                assert_ne!(histories[i], histories[j], "processes {i} and {j} share coins");
+                assert_ne!(
+                    histories[i], histories[j],
+                    "processes {i} and {j} share coins"
+                );
             }
         }
     }

@@ -1,9 +1,9 @@
 //! The synchronous world: round engine, fault enforcement, and forking.
 
 use crate::{
-    Adversary, Bit, Context, DeliveryFilter, FaultBudget, Inbox, Intervention, Metrics, Process,
-    ProcessId, Round, RunReport, SendPattern, SimConfig, SimError, SimRng, StreamPhase, Trace,
-    trace::Event,
+    trace::Event, Adversary, Bit, Context, DeliveryFilter, FaultBudget, Inbox, Intervention,
+    Metrics, Process, ProcessId, Round, RunReport, SendPattern, SimConfig, SimError, SimRng,
+    StreamPhase, Trace,
 };
 
 /// Lifecycle of a process within an execution.
@@ -62,6 +62,49 @@ struct Slot<P> {
     status: ProcessStatus,
 }
 
+/// Sentinel in [`RoundScratch::filter_of`]: the sender was not killed this
+/// round.
+const NO_KILL: u32 = u32::MAX;
+
+/// Bookkeeping for one kill while a round's delivery is in flight.
+#[derive(Debug)]
+struct KillStat {
+    victim: ProcessId,
+    delivered: usize,
+    suppressed: usize,
+    /// Whether the victim had an outbox to filter (it always does after a
+    /// normal Phase A; kept for robustness and trace parity).
+    had_outbox: bool,
+}
+
+/// Reusable per-round buffers, pooled across rounds so [`World::deliver`]
+/// performs no per-round allocations once the inbox buffers have warmed up.
+///
+/// Invariant: between [`World::deliver`] calls every inbox buffer is empty,
+/// `kill_stats` is empty, and every `filter_of` entry is [`NO_KILL`] — so a
+/// freshly constructed scratch is interchangeable with a used one, which is
+/// what lets [`Clone`] hand forks an empty pool.
+#[derive(Debug)]
+struct RoundScratch<M> {
+    /// Per-recipient message buffers, recycled through
+    /// [`Inbox::into_messages`] each round.
+    inboxes: Vec<Vec<(ProcessId, M)>>,
+    /// Per-sender index into this round's kill list, or [`NO_KILL`].
+    filter_of: Vec<u32>,
+    /// Delivery stats per kill, in intervention order.
+    kill_stats: Vec<KillStat>,
+}
+
+impl<M> RoundScratch<M> {
+    fn new(n: usize) -> RoundScratch<M> {
+        RoundScratch {
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            filter_of: vec![NO_KILL; n],
+            kill_stats: Vec::new(),
+        }
+    }
+}
+
 /// A complete synchronous execution in progress.
 ///
 /// The world is an explicit state machine so that adversaries can pause it
@@ -87,7 +130,7 @@ struct Slot<P> {
 /// assert_eq!(report.rounds(), 1);
 /// # Ok::<(), synran_sim::SimError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct World<P: Process> {
     cfg: SimConfig,
     round: Round,
@@ -98,6 +141,31 @@ pub struct World<P: Process> {
     metrics: Metrics,
     trace: Trace,
     seed: u64,
+    scratch: RoundScratch<P::Msg>,
+}
+
+impl<P> Clone for World<P>
+where
+    P: Process + Clone,
+{
+    /// Clones the observable execution state. The clone gets a fresh (empty)
+    /// scratch pool rather than a copy of the parent's warmed-up buffers:
+    /// scratch is empty between rounds by invariant, so this changes nothing
+    /// observable, and it keeps mid-estimation forks cheap.
+    fn clone(&self) -> World<P> {
+        World {
+            cfg: self.cfg.clone(),
+            round: self.round,
+            phase: self.phase,
+            slots: self.slots.clone(),
+            outboxes: self.outboxes.clone(),
+            budget: self.budget,
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            seed: self.seed,
+            scratch: RoundScratch::new(self.cfg.n()),
+        }
+    }
 }
 
 impl<P: Process> World<P> {
@@ -108,7 +176,10 @@ impl<P: Process> World<P> {
     ///
     /// Returns [`SimError::InvalidConfig`] if the configuration fails
     /// [`SimConfig::validate`].
-    pub fn new(cfg: SimConfig, mut factory: impl FnMut(ProcessId) -> P) -> Result<World<P>, SimError> {
+    pub fn new(
+        cfg: SimConfig,
+        mut factory: impl FnMut(ProcessId) -> P,
+    ) -> Result<World<P>, SimError> {
         cfg.validate()?;
         let n = cfg.n();
         let slots = ProcessId::all(n)
@@ -131,6 +202,7 @@ impl<P: Process> World<P> {
             phase: Phase::BeforeSend,
             outboxes: (0..n).map(|_| None).collect(),
             slots,
+            scratch: RoundScratch::new(n),
             cfg,
         })
     }
@@ -212,7 +284,11 @@ impl<P: Process> World<P> {
 
     /// Ids of all processes still participating.
     pub fn alive_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.slots.iter().enumerate().filter(|&(_i, s)| s.status.is_alive()).map(|(i, _s)| ProcessId::new(i))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_i, s)| s.status.is_alive())
+            .map(|(i, _s)| ProcessId::new(i))
     }
 
     /// Number of processes still participating.
@@ -329,82 +405,113 @@ impl<P: Process> World<P> {
         }
         self.budget.try_spend(kills.len(), round)?;
 
-        // Apply the kills.
-        let mut filters: Vec<Option<&DeliveryFilter>> = vec![None; n];
-        for kill in kills {
+        // Apply the kills, marking each victim's slot in the pooled
+        // per-sender kill-index table (tracked during dispatch so the trace
+        // needs no rescan afterwards).
+        debug_assert!(self.scratch.kill_stats.is_empty());
+        for (idx, kill) in kills.iter().enumerate() {
             self.slots[kill.victim.index()].status = ProcessStatus::Failed(round);
-            filters[kill.victim.index()] = Some(&kill.delivered);
+            self.scratch.filter_of[kill.victim.index()] = idx as u32;
+            self.scratch.kill_stats.push(KillStat {
+                victim: kill.victim,
+                delivered: 0,
+                suppressed: 0,
+                had_outbox: false,
+            });
         }
         self.metrics.on_kills(round, kills.len());
 
         // Deliver: walk senders in id order so each inbox stays sorted.
-        let mut inboxes: Vec<Vec<(ProcessId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        // Recipient buffers come from the pooled scratch (empty, but with
+        // capacity retained from earlier rounds), so steady-state delivery
+        // allocates nothing.
         let mut delivered: u64 = 0;
         let mut suppressed: u64 = 0;
-        let mut per_kill_stats: Vec<(ProcessId, usize, usize)> = Vec::new();
-        // Indexing several parallel arrays; an enumerate chain would obscure it.
-        #[allow(clippy::needless_range_loop)]
-        for s in 0..n {
-            let Some(pattern) = self.outboxes[s].take() else {
-                continue;
-            };
-            let sender = ProcessId::new(s);
-            let filter = filters[s];
-            let mut sent_here = 0usize;
-            let mut cut_here = 0usize;
-            let mut dispatch = |to: ProcessId, msg: P::Msg| {
-                let allowed = filter.is_none_or(|f| f.allows(to));
-                if allowed {
-                    // Dead or halted recipients silently drop mail; the
-                    // message still "arrived" per the reliable-links model.
-                    if self.slots[to.index()].status.is_alive() {
-                        inboxes[to.index()].push((sender, msg));
-                    }
-                    sent_here += 1;
+        {
+            let slots = &self.slots;
+            let outboxes = &mut self.outboxes;
+            let scratch = &mut self.scratch;
+            // Indexing several parallel arrays; an enumerate chain would
+            // obscure it.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..n {
+                let Some(pattern) = outboxes[s].take() else {
+                    continue;
+                };
+                let sender = ProcessId::new(s);
+                let kill_idx = scratch.filter_of[s];
+                let filter: Option<&DeliveryFilter> = if kill_idx == NO_KILL {
+                    None
                 } else {
-                    cut_here += 1;
-                }
-            };
-            match pattern {
-                SendPattern::Broadcast(m) => {
-                    for r in 0..n {
-                        dispatch(ProcessId::new(r), m.clone());
+                    Some(&kills[kill_idx as usize].delivered)
+                };
+                let mut sent_here = 0usize;
+                let mut cut_here = 0usize;
+                let inboxes = &mut scratch.inboxes;
+                let mut dispatch = |to: ProcessId, msg: P::Msg| {
+                    let allowed = filter.is_none_or(|f| f.allows(to));
+                    if allowed {
+                        // Dead or halted recipients silently drop mail; the
+                        // message still "arrived" per the reliable-links model.
+                        if slots[to.index()].status.is_alive() {
+                            inboxes[to.index()].push((sender, msg));
+                        }
+                        sent_here += 1;
+                    } else {
+                        cut_here += 1;
                     }
-                }
-                SendPattern::To(list) => {
-                    for (to, m) in list {
-                        dispatch(to, m);
+                };
+                match pattern {
+                    SendPattern::Broadcast(m) => {
+                        for r in 0..n {
+                            dispatch(ProcessId::new(r), m.clone());
+                        }
                     }
+                    SendPattern::To(list) => {
+                        for (to, m) in list {
+                            dispatch(to, m);
+                        }
+                    }
+                    SendPattern::Silent => {}
                 }
-                SendPattern::Silent => {}
-            }
-            delivered += sent_here as u64;
-            suppressed += cut_here as u64;
-            if filter.is_some() {
-                per_kill_stats.push((sender, sent_here, cut_here));
+                delivered += sent_here as u64;
+                suppressed += cut_here as u64;
+                if kill_idx != NO_KILL {
+                    let stat = &mut scratch.kill_stats[kill_idx as usize];
+                    stat.had_outbox = true;
+                    stat.delivered = sent_here;
+                    stat.suppressed = cut_here;
+                }
             }
         }
         self.metrics.on_delivered(delivered);
         self.metrics.on_suppressed(suppressed);
-        for (victim, d, s) in per_kill_stats {
-            self.trace.record(|| Event::Killed {
-                victim,
-                round,
-                delivered: d,
-                suppressed: s,
-            });
-        }
-        // Killed processes with no outbox recorded (e.g. silent senders)
-        // still deserve a trace event.
+        // Trace the kills: victims that had an outbox first, in sender-id
+        // order (matching dispatch order), then outbox-less victims in
+        // intervention order — the stats were tracked during dispatch, so no
+        // trace rescan is needed.
         if self.trace.is_enabled() {
-            for kill in kills {
-                let already = self
-                    .trace
-                    .in_round(round)
-                    .any(|e| matches!(e, Event::Killed { victim, .. } if *victim == kill.victim));
-                if !already {
+            for s in 0..n {
+                let kill_idx = self.scratch.filter_of[s];
+                if kill_idx == NO_KILL {
+                    continue;
+                }
+                let stat = &self.scratch.kill_stats[kill_idx as usize];
+                if stat.had_outbox {
+                    let (victim, d, cut) = (stat.victim, stat.delivered, stat.suppressed);
                     self.trace.record(|| Event::Killed {
-                        victim: kill.victim,
+                        victim,
+                        round,
+                        delivered: d,
+                        suppressed: cut,
+                    });
+                }
+            }
+            for stat in &self.scratch.kill_stats {
+                if !stat.had_outbox {
+                    let victim = stat.victim;
+                    self.trace.record(|| Event::Killed {
+                        victim,
                         round,
                         delivered: 0,
                         suppressed: 0,
@@ -412,18 +519,27 @@ impl<P: Process> World<P> {
                 }
             }
         }
+        // Restore the scratch invariant in O(kills), not O(n).
+        for stat in &self.scratch.kill_stats {
+            self.scratch.filter_of[stat.victim.index()] = NO_KILL;
+        }
+        self.scratch.kill_stats.clear();
 
-        // Receives: every still-alive process consumes its inbox.
+        // Receives: every still-alive process consumes its inbox. Each
+        // buffer round-trips through the Inbox and returns to the pool.
         #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             if !self.slots[i].status.is_alive() {
                 continue;
             }
             let pid = ProcessId::new(i);
-            let inbox = Inbox::from_messages(std::mem::take(&mut inboxes[i]));
+            let inbox = Inbox::from_messages(std::mem::take(&mut self.scratch.inboxes[i]));
             let mut rng = SimRng::stream(self.seed, pid, round, StreamPhase::Receive);
             let mut ctx = Context::new(pid, n, round, &mut rng);
             self.slots[i].proc.receive(&mut ctx, &inbox);
+            let mut buffer = inbox.into_messages();
+            buffer.clear();
+            self.scratch.inboxes[i] = buffer;
             self.note_decision(pid);
             if self.slots[i].proc.halted() {
                 self.slots[i].status = ProcessStatus::Halted(round);
@@ -453,6 +569,23 @@ impl<P: Process> World<P> {
     /// [`SimError::MaxRoundsExceeded`] if the execution outlives the
     /// configured limit.
     pub fn run<A: Adversary<P>>(&mut self, adversary: &mut A) -> Result<RunReport, SimError> {
+        self.drive(adversary)?;
+        Ok(self.report())
+    }
+
+    /// Drives the world to completion under `adversary` without building a
+    /// report.
+    ///
+    /// The loop behind [`run`](World::run), split out for callers that
+    /// finish with [`into_report`](World::into_report) (no metrics/trace
+    /// clone) or that only inspect the final world state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stepping error, and returns
+    /// [`SimError::MaxRoundsExceeded`] if the execution outlives the
+    /// configured limit.
+    pub fn drive<A: Adversary<P>>(&mut self, adversary: &mut A) -> Result<(), SimError> {
         while !self.finished() {
             if self.round.index() > self.cfg.max_rounds_value() {
                 return Err(SimError::MaxRoundsExceeded {
@@ -465,7 +598,7 @@ impl<P: Process> World<P> {
             let intervention = adversary.intervene(self);
             self.deliver(intervention)?;
         }
-        Ok(self.report())
+        Ok(())
     }
 
     /// Summarises the execution so far.
@@ -476,6 +609,22 @@ impl<P: Process> World<P> {
             self.slots.iter().map(|s| s.status).collect(),
             self.metrics.clone(),
             self.trace.clone(),
+        )
+    }
+
+    /// Consumes the world into a report, moving the metrics and trace
+    /// instead of cloning them.
+    ///
+    /// Prefer `drive` + `into_report` over [`run`](World::run) when the
+    /// world is not needed afterwards — on traced runs this skips copying
+    /// the entire event log.
+    #[must_use]
+    pub fn into_report(self) -> RunReport {
+        RunReport::new(
+            self.slots.iter().map(|s| s.proc.decision()).collect(),
+            self.slots.iter().map(|s| s.status).collect(),
+            self.metrics,
+            self.trace,
         )
     }
 
@@ -833,7 +982,10 @@ mod tests {
         w.deliver(Intervention::none()).unwrap();
         assert!(w.status(ProcessId::new(0)).is_halted());
         w.phase_a().unwrap();
-        assert!(w.outbox(ProcessId::new(0)).is_none(), "halted senders are silent");
+        assert!(
+            w.outbox(ProcessId::new(0)).is_none(),
+            "halted senders are silent"
+        );
         w.deliver(Intervention::none()).unwrap();
         assert_eq!(
             w.process(ProcessId::new(1)).last_inbox_len(),

@@ -1,0 +1,85 @@
+//! Verifies the pooled-scratch claim: once the inbox buffers have warmed
+//! up, a steady-state round (`phase_a` + `deliver`) performs **zero** heap
+//! allocations.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator. The count
+//! is kept per-thread so the test harness's own threads (which allocate
+//! concurrently, e.g. for output capture) cannot perturb the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use synran_sim::testing::CountDown;
+use synran_sim::{Bit, Intervention, SimConfig, World};
+
+thread_local! {
+    /// Allocations + reallocations made by *this* thread.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn note_alloc() {
+    // try_with: TLS may be unavailable during thread teardown.
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// Counts every allocation and reallocation the current thread routes
+/// through the global allocator.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    let n = 32;
+    let rounds = 60u32;
+    let mut world = World::new(SimConfig::new(n).seed(11), |_| {
+        CountDown::new(rounds, Bit::One)
+    })
+    .expect("valid config");
+
+    // Warm-up: the pooled inbox buffers grow to their steady-state
+    // capacity during the first few broadcast rounds.
+    for _ in 0..5 {
+        world.phase_a().expect("phase A");
+        world.deliver(Intervention::none()).expect("deliver");
+    }
+
+    let before = thread_allocs();
+    for _ in 0..50 {
+        world.phase_a().expect("phase A");
+        world.deliver(Intervention::none()).expect("deliver");
+    }
+    let after = thread_allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "expected zero allocations across 50 warm rounds of n={n} broadcast"
+    );
+}

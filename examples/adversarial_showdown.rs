@@ -32,7 +32,7 @@ fn main() -> Result<(), SimError> {
     println!("tournament: n = {n}, t = {t}, {runs} runs per cell\n");
 
     let mut table = Table::new(["adversary", "flooding (t+1)", "synran", "synran-sym"]);
-    type Mk = Box<dyn Fn(u64) -> Box<dyn Adversary<SynRanProcess>>>;
+    type Mk = Box<dyn Fn(u64) -> Box<dyn Adversary<SynRanProcess> + Send> + Sync>;
     let suite: Vec<(&str, Mk)> = vec![
         ("passive", Box::new(|_| Box::new(Passive))),
         (
@@ -87,7 +87,11 @@ fn main() -> Result<(), SimError> {
         let sym_cell = if sym.all_correct() {
             fmt_f64(sym.mean_rounds(), 1)
         } else {
-            format!("{} (!{} unsafe)", fmt_f64(sym.mean_rounds(), 1), sym.incorrect().len())
+            format!(
+                "{} (!{} unsafe)",
+                fmt_f64(sym.mean_rounds(), 1),
+                sym.incorrect().len()
+            )
         };
         table.row([
             (*name).to_string(),
@@ -97,7 +101,10 @@ fn main() -> Result<(), SimError> {
         ]);
     }
     print!("{table}");
-    println!("\nreading: flooding is pinned at t + 1 = {} rounds; SynRan stays near its", t + 1);
+    println!(
+        "\nreading: flooding is pinned at t + 1 = {} rounds; SynRan stays near its",
+        t + 1
+    );
     println!("O(t/√(n·log n)) budget against every attack, with safety intact.");
     Ok(())
 }

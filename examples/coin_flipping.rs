@@ -37,7 +37,9 @@ fn demo_single_instance() {
             println!("unexpectedly forced 1 by hiding {set:?}");
         }
         SearchOutcome::Forced(_) => println!("outcome was already 1 with no hides"),
-        other => println!("forcing 1 is {other:?} even with unlimited hides — hides only remove 1s"),
+        other => {
+            println!("forcing 1 is {other:?} even with unlimited hides — hides only remove 1s")
+        }
     }
 }
 

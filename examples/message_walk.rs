@@ -23,7 +23,11 @@ fn main() -> Result<(), SimError> {
     let verdict = synran::core::check_consensus(
         &SynRan::new(),
         &inputs,
-        SimConfig::new(n).faults(t).seed(seed).trace(true).max_rounds(50_000),
+        SimConfig::new(n)
+            .faults(t)
+            .seed(seed)
+            .trace(true)
+            .max_rounds(50_000),
         &mut MessageWalker::new(4, 3, 30, seed),
     )?;
 
@@ -51,7 +55,11 @@ fn main() -> Result<(), SimError> {
         verdict.rounds(),
         verdict.report().metrics().total_kills(),
         verdict.report().unanimous_decision(),
-        if verdict.is_correct() { "hold" } else { "VIOLATED" },
+        if verdict.is_correct() {
+            "hold"
+        } else {
+            "VIOLATED"
+        },
     );
     println!("\nreading: partial message deliveries (kept > 0, cut > 0) are the paper's");
     println!("case-3 steps — the walk found the exact message whose loss flips the");

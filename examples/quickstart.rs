@@ -29,14 +29,8 @@ fn main() -> Result<(), SimError> {
     println!("protocol   : {}", protocol.name());
     println!("system     : n = {n}, fault budget t = {t}");
     println!("rounds     : {}", verdict.rounds());
-    println!(
-        "kills used : {}",
-        verdict.report().metrics().total_kills()
-    );
-    println!(
-        "decision   : {:?}",
-        verdict.report().unanimous_decision()
-    );
+    println!("kills used : {}", verdict.report().metrics().total_kills());
+    println!("decision   : {:?}", verdict.report().unanimous_decision());
     println!("agreement  : {}", verdict.agreement());
     println!("validity   : {}", verdict.validity());
     println!("termination: {}", verdict.termination());

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+#
+#   ./scripts/tier1.sh
+#
+# Runs the release build, the full test suite, clippy with warnings
+# denied, and the formatting check, stopping at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release --workspace
+
+echo "== tier1: cargo test =="
+cargo test -q --workspace
+
+echo "== tier1: cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== tier1: OK =="

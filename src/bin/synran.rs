@@ -38,6 +38,8 @@ OPTIONS:
   --ones <int>   processes with input 1                     (default n/2)
   --seed <int>   master seed                                (default 1)
   --runs <int>   batch size (batch only)                    (default 20)
+  --threads <int> worker threads for batches (0 = all cores, 1 = serial;
+                 results are identical for every value)     (default 0)
   --trace        print the event trace (run only)
 
 Adversary/protocol compatibility: balancer, lower-bound, walker, kill-*
@@ -72,15 +74,16 @@ struct Opts {
     ones: usize,
     seed: u64,
     runs: usize,
+    threads: usize,
     trace: bool,
 }
 
 impl Opts {
     fn from(values: &HashMap<String, String>, flags: &[String]) -> Result<Opts, String> {
         let get_usize = |k: &str, d: usize| -> Result<usize, String> {
-            values
-                .get(k)
-                .map_or(Ok(d), |v| v.parse().map_err(|_| format!("--{k}: not an integer: {v}")))
+            values.get(k).map_or(Ok(d), |v| {
+                v.parse().map_err(|_| format!("--{k}: not an integer: {v}"))
+            })
         };
         let protocol = values
             .get("protocol")
@@ -99,10 +102,12 @@ impl Opts {
                 .unwrap_or_else(|| "passive".into()),
             t: get_usize("t", default_t)?,
             ones: get_usize("ones", n / 2)?,
-            seed: values
-                .get("seed")
-                .map_or(Ok(1), |v| v.parse().map_err(|_| format!("--seed: not an integer: {v}")))?,
+            seed: values.get("seed").map_or(Ok(1), |v| {
+                v.parse()
+                    .map_err(|_| format!("--seed: not an integer: {v}"))
+            })?,
             runs: get_usize("runs", 20)?,
+            threads: get_usize("threads", 0)?,
             trace: flags.iter().any(|f| f == "trace"),
             protocol,
             n,
@@ -119,15 +124,19 @@ impl Opts {
             .seed(self.seed)
             .max_rounds(500_000)
             .trace(self.trace)
+            .threads(self.threads)
     }
 }
+
+/// A boxed adversary that can be built on batch worker threads.
+type BoxedAdv<P> = Box<dyn Adversary<P> + Send>;
 
 /// Builds the adversary for a SynRan-family run.
 fn synran_adversary(
     name: &str,
     opts: &Opts,
     seed: u64,
-) -> Result<Box<dyn Adversary<synran::core::SynRanProcess>>, String> {
+) -> Result<BoxedAdv<synran::core::SynRanProcess>, String> {
     let rate = (opts.n as f64).sqrt().ceil() as usize;
     Ok(match name {
         "passive" => Box::new(Passive),
@@ -149,7 +158,7 @@ fn generic_adversary<P: Process>(
     name: &str,
     opts: &Opts,
     seed: u64,
-) -> Result<Box<dyn Adversary<P>>, String> {
+) -> Result<BoxedAdv<P>, String> {
     let rate = (opts.n as f64).sqrt().ceil() as usize;
     Ok(match name {
         "passive" => Box::new(Passive),
@@ -164,18 +173,14 @@ fn leader_adversary(
     name: &str,
     opts: &Opts,
     seed: u64,
-) -> Result<Box<dyn Adversary<synran::core::LeaderProcess>>, String> {
+) -> Result<BoxedAdv<synran::core::LeaderProcess>, String> {
     if name == "hunter" {
         return Ok(Box::new(LeaderHunter::new()));
     }
     generic_adversary(name, opts, seed)
 }
 
-fn run_once<P>(
-    protocol: &P,
-    opts: &Opts,
-    mut adversary: Box<dyn Adversary<P::Proc>>,
-) -> Result<(), String>
+fn run_once<P>(protocol: &P, opts: &Opts, mut adversary: BoxedAdv<P::Proc>) -> Result<(), String>
 where
     P: ConsensusProtocol,
 {
@@ -185,10 +190,7 @@ where
     println!("adversary   : {}", opts.adversary);
     println!("n / t / ones: {} / {} / {}", opts.n, opts.t, opts.ones);
     println!("rounds      : {}", verdict.rounds());
-    println!(
-        "kills       : {}",
-        verdict.report().metrics().total_kills()
-    );
+    println!("kills       : {}", verdict.report().metrics().total_kills());
     println!("decision    : {:?}", verdict.report().unanimous_decision());
     println!(
         "correct     : {} (agreement {}, validity {}, termination {})",
@@ -211,10 +213,10 @@ where
     Ok(())
 }
 
-fn run_batch_cmd<P, F>(protocol: &P, opts: &Opts, mut make: F) -> Result<(), String>
+fn run_batch_cmd<P, F>(protocol: &P, opts: &Opts, make: F) -> Result<(), String>
 where
-    P: ConsensusProtocol,
-    F: FnMut(u64) -> Result<Box<dyn Adversary<P::Proc>>, String>,
+    P: ConsensusProtocol + Sync,
+    F: Fn(u64) -> Result<BoxedAdv<P::Proc>, String> + Sync,
 {
     // Pre-validate the adversary name once.
     make(0)?;
@@ -235,7 +237,11 @@ where
     println!("adversary : {}", opts.adversary);
     println!("n / t     : {} / {}", opts.n, opts.t);
     println!("runs      : {}", opts.runs);
-    println!("rounds    : mean {:.1}, max {:?}", mean, outcome.max_rounds());
+    println!(
+        "rounds    : mean {:.1}, max {:?}",
+        mean,
+        outcome.max_rounds()
+    );
     println!("kills     : mean {kills:.1}");
     println!(
         "correct   : {}/{} runs",
@@ -251,7 +257,11 @@ where
 fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
     let seed0 = SimRng::new(opts.seed).next_u64();
     match (cmd, opts.protocol.as_str()) {
-        ("run", "synran") => run_once(&SynRan::new(), opts, synran_adversary(&opts.adversary, opts, seed0)?),
+        ("run", "synran") => run_once(
+            &SynRan::new(),
+            opts,
+            synran_adversary(&opts.adversary, opts, seed0)?,
+        ),
         ("run", "symmetric") => run_once(
             &SynRan::symmetric(),
             opts,
@@ -267,9 +277,9 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             opts,
             leader_adversary(&opts.adversary, opts, seed0)?,
         ),
-        ("batch", "synran") => {
-            run_batch_cmd(&SynRan::new(), opts, |s| synran_adversary(&opts.adversary, opts, s))
-        }
+        ("batch", "synran") => run_batch_cmd(&SynRan::new(), opts, |s| {
+            synran_adversary(&opts.adversary, opts, s)
+        }),
         ("batch", "symmetric") => run_batch_cmd(&SynRan::symmetric(), opts, |s| {
             synran_adversary(&opts.adversary, opts, s)
         }),

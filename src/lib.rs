@@ -62,8 +62,7 @@ pub mod prelude {
         LeaderConsensus, LeaderProcess, SynRan,
     };
     pub use synran_sim::{
-        Adversary, Bit, Intervention, Passive, ProcessId, Round, SimConfig, SimError, SimRng,
-        World,
+        Adversary, Bit, Intervention, Passive, ProcessId, Round, SimConfig, SimError, SimRng, World,
     };
 }
 

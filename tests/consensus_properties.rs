@@ -1,8 +1,10 @@
 //! Property-based tests: the consensus conditions hold for *arbitrary*
 //! system sizes, fault budgets, input vectors, seeds, and adversary
 //! schedules.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from fixed-seed [`SimRng`] generators rather than a
+//! property-testing framework, so every CI run checks the same inputs and
+//! failures reproduce by case index.
 
 use synran::core::SynRanProcess;
 use synran::prelude::*;
@@ -20,12 +22,10 @@ enum AdversaryChoice {
 }
 
 impl AdversaryChoice {
-    fn build(&self, seed: u64) -> Box<dyn Adversary<SynRanProcess>> {
+    fn build(&self, seed: u64) -> Box<dyn Adversary<SynRanProcess> + Send> {
         match *self {
             AdversaryChoice::Passive => Box::new(Passive),
-            AdversaryChoice::Random { per_round } => {
-                Box::new(RandomKiller::new(per_round, seed))
-            }
+            AdversaryChoice::Random { per_round } => Box::new(RandomKiller::new(per_round, seed)),
             AdversaryChoice::Storm => Box::new(Storm::new(seed)),
             AdversaryChoice::KillOnes { per_round } => {
                 Box::new(PreferenceKiller::new(Bit::One, per_round))
@@ -39,84 +39,97 @@ impl AdversaryChoice {
     }
 }
 
-fn adversary_strategy() -> impl Strategy<Value = AdversaryChoice> {
-    prop_oneof![
-        Just(AdversaryChoice::Passive),
-        (1usize..5).prop_map(|per_round| AdversaryChoice::Random { per_round }),
-        Just(AdversaryChoice::Storm),
-        (1usize..5).prop_map(|per_round| AdversaryChoice::KillOnes { per_round }),
-        (1usize..5).prop_map(|per_round| AdversaryChoice::KillZeros { per_round }),
-        Just(AdversaryChoice::Balancer),
-        (1usize..8).prop_map(|cap| AdversaryChoice::BalancerCapped { cap }),
-    ]
+/// Draws an adversary, covering every variant with the same parameter
+/// ranges the former proptest strategy used.
+fn random_adversary(rng: &mut SimRng) -> AdversaryChoice {
+    match rng.index(7) {
+        0 => AdversaryChoice::Passive,
+        1 => AdversaryChoice::Random {
+            per_round: 1 + rng.index(4),
+        },
+        2 => AdversaryChoice::Storm,
+        3 => AdversaryChoice::KillOnes {
+            per_round: 1 + rng.index(4),
+        },
+        4 => AdversaryChoice::KillZeros {
+            per_round: 1 + rng.index(4),
+        },
+        5 => AdversaryChoice::Balancer,
+        _ => AdversaryChoice::BalancerCapped {
+            cap: 1 + rng.index(7),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
+/// A uniform fraction in `[0, 1)`.
+fn unit_fraction(rng: &mut SimRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
-    /// Agreement + termination for arbitrary inputs, budgets, seeds, and
-    /// adversaries. (Validity is checked by the checker too whenever the
-    /// drawn inputs happen to be unanimous.)
-    #[test]
-    fn synran_is_correct(
-        n in 2usize..24,
-        t_frac in 0.0f64..1.0,
-        input_bits in proptest::collection::vec(any::<bool>(), 24),
-        seed in any::<u64>(),
-        choice in adversary_strategy(),
-    ) {
-        let t = ((n as f64) * t_frac) as usize;
-        let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(input_bits[i])).collect();
+/// Agreement + termination for arbitrary inputs, budgets, seeds, and
+/// adversaries. (Validity is checked by the checker too whenever the
+/// drawn inputs happen to be unanimous.)
+#[test]
+fn synran_is_correct() {
+    let mut gen = SimRng::new(0xC0221);
+    for _case in 0..48 {
+        let n = 2 + gen.index(22);
+        let t = ((n as f64) * unit_fraction(&mut gen)) as usize;
+        let inputs: Vec<Bit> = (0..n).map(|_| gen.bit()).collect();
+        let seed = gen.next_u64();
+        let choice = random_adversary(&mut gen);
         let mut adversary = choice.build(seed);
         let verdict = check_consensus(
             &SynRan::new(),
             &inputs,
-            SimConfig::new(n).faults(t.min(n)).seed(seed).max_rounds(50_000),
+            SimConfig::new(n)
+                .faults(t.min(n))
+                .seed(seed)
+                .max_rounds(50_000),
             &mut adversary,
-        ).unwrap();
-        prop_assert!(
+        )
+        .unwrap();
+        assert!(
             verdict.is_correct(),
             "n={n} t={t} {choice:?}: {:?}",
             verdict.violations()
         );
     }
+}
 
-    /// Flooding is correct and takes exactly t+1 rounds under generic
-    /// adversaries.
-    #[test]
-    fn flooding_is_correct_and_exact(
-        n in 2usize..16,
-        t_frac in 0.0f64..1.0,
-        input_bits in proptest::collection::vec(any::<bool>(), 16),
-        seed in any::<u64>(),
-        per_round in 1usize..4,
-    ) {
-        let t = (((n - 1) as f64) * t_frac) as usize;
-        let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(input_bits[i])).collect();
+/// Flooding is correct and takes exactly t+1 rounds under generic
+/// adversaries.
+#[test]
+fn flooding_is_correct_and_exact() {
+    let mut gen = SimRng::new(0xF100D);
+    for _case in 0..48 {
+        let n = 2 + gen.index(14);
+        let t = (((n - 1) as f64) * unit_fraction(&mut gen)) as usize;
+        let inputs: Vec<Bit> = (0..n).map(|_| gen.bit()).collect();
+        let seed = gen.next_u64();
+        let per_round = 1 + gen.index(3);
         let verdict = check_consensus(
             &FloodingConsensus::for_faults(t),
             &inputs,
             SimConfig::new(n).faults(t).seed(seed),
             &mut RandomKiller::new(per_round, seed),
-        ).unwrap();
-        prop_assert!(verdict.is_correct(), "{:?}", verdict.violations());
-        prop_assert_eq!(verdict.rounds(), t as u32 + 1);
+        )
+        .unwrap();
+        assert!(verdict.is_correct(), "{:?}", verdict.violations());
+        assert_eq!(verdict.rounds(), t as u32 + 1);
     }
+}
 
-    /// The engine never lets any adversary overspend its budget, and the
-    /// reported kill count matches the failed-process count.
-    #[test]
-    fn fault_accounting_is_exact(
-        n in 2usize..20,
-        t in 0usize..20,
-        seed in any::<u64>(),
-        choice in adversary_strategy(),
-    ) {
-        let t = t.min(n);
+/// The engine never lets any adversary overspend its budget, and the
+/// reported kill count matches the failed-process count.
+#[test]
+fn fault_accounting_is_exact() {
+    let mut gen = SimRng::new(0xFA017);
+    for _case in 0..48 {
+        let n = 2 + gen.index(18);
+        let t = gen.index(20).min(n);
+        let seed = gen.next_u64();
+        let choice = random_adversary(&mut gen);
         let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i % 2 == 0)).collect();
         let mut adversary = choice.build(seed);
         let verdict = check_consensus(
@@ -124,50 +137,62 @@ proptest! {
             &inputs,
             SimConfig::new(n).faults(t).seed(seed).max_rounds(50_000),
             &mut adversary,
-        ).unwrap();
+        )
+        .unwrap();
         let kills = verdict.report().metrics().total_kills();
-        prop_assert!(kills <= t, "kills {kills} > budget {t}");
-        prop_assert_eq!(kills, verdict.report().failed_count());
+        assert!(kills <= t, "kills {kills} > budget {t}");
+        assert_eq!(kills, verdict.report().failed_count());
     }
+}
 
-    /// Replay determinism across the full stack: identical seeds give
-    /// identical executions.
-    #[test]
-    fn replay_is_deterministic(
-        n in 2usize..16,
-        seed in any::<u64>(),
-        choice in adversary_strategy(),
-    ) {
+/// Replay determinism across the full stack: identical seeds give
+/// identical executions.
+#[test]
+fn replay_is_deterministic() {
+    let mut gen = SimRng::new(0x2E71A);
+    for _case in 0..48 {
+        let n = 2 + gen.index(14);
+        let seed = gen.next_u64();
+        let choice = random_adversary(&mut gen);
         let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i % 3 == 0)).collect();
         let run = || {
             let mut adversary = choice.build(seed);
             let verdict = check_consensus(
                 &SynRan::new(),
                 &inputs,
-                SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+                SimConfig::new(n)
+                    .faults(n - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
                 &mut adversary,
-            ).unwrap();
+            )
+            .unwrap();
             (verdict.rounds(), verdict.report().decisions().to_vec())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// Unanimous inputs always decide that exact value (Validity), even
-    /// under the strongest stalling attack.
-    #[test]
-    fn validity_under_balancer(
-        n in 2usize..20,
-        v in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let v = Bit::from(v);
+/// Unanimous inputs always decide that exact value (Validity), even
+/// under the strongest stalling attack.
+#[test]
+fn validity_under_balancer() {
+    let mut gen = SimRng::new(0x7A11D);
+    for _case in 0..48 {
+        let n = 2 + gen.index(18);
+        let v = gen.bit();
+        let seed = gen.next_u64();
         let verdict = check_consensus(
             &SynRan::new(),
             &vec![v; n],
-            SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+            SimConfig::new(n)
+                .faults(n - 1)
+                .seed(seed)
+                .max_rounds(50_000),
             &mut Balancer::unbounded(),
-        ).unwrap();
-        prop_assert!(verdict.is_correct(), "{:?}", verdict.violations());
-        prop_assert_eq!(verdict.report().unanimous_decision(), Some(v));
+        )
+        .unwrap();
+        assert!(verdict.is_correct(), "{:?}", verdict.violations());
+        assert_eq!(verdict.report().unanimous_decision(), Some(v));
     }
 }

@@ -17,7 +17,10 @@ fn synran_correct_under_every_adversary_in_the_suite() {
     type Mk = Box<dyn Fn(u64) -> Box<dyn Adversary<SynRanProcess>>>;
     let suite: Vec<(&str, Mk)> = vec![
         ("passive", Box::new(|_| Box::new(Passive))),
-        ("random", Box::new(move |s| Box::new(RandomKiller::new(rate, s)))),
+        (
+            "random",
+            Box::new(move |s| Box::new(RandomKiller::new(rate, s))),
+        ),
         ("storm", Box::new(|s| Box::new(Storm::new(s)))),
         (
             "kill-ones",
@@ -69,7 +72,11 @@ fn flooding_correct_under_generic_adversaries() {
                 "t={t} seed {seed}: {:?}",
                 verdict.violations()
             );
-            assert_eq!(verdict.rounds(), t as u32 + 1, "flooding is exactly t+1 rounds");
+            assert_eq!(
+                verdict.rounds(),
+                t as u32 + 1,
+                "flooding is exactly t+1 rounds"
+            );
         }
     }
 }
@@ -100,7 +107,10 @@ fn unanimous_inputs_decide_that_value_under_attack() {
             let verdict = check_consensus(
                 &SynRan::new(),
                 &vec![v; n],
-                SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+                SimConfig::new(n)
+                    .faults(n - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
                 &mut Balancer::unbounded(),
             )
             .unwrap();
@@ -163,15 +173,10 @@ fn handover_skew_cannot_break_agreement() {
 
     struct SkewAtThreshold;
     impl Adversary<synran::core::SynRanProcess> for SkewAtThreshold {
-        fn intervene(
-            &mut self,
-            world: &World<synran::core::SynRanProcess>,
-        ) -> Intervention {
+        fn intervene(&mut self, world: &World<synran::core::SynRanProcess>) -> Intervention {
             match world.round().index() {
                 // Crash down to 5 survivors immediately.
-                1 => Intervention::kill_all_silent(
-                    world.alive_ids().skip(5).collect::<Vec<_>>(),
-                ),
+                1 => Intervention::kill_all_silent(world.alive_ids().skip(5).collect::<Vec<_>>()),
                 // Kill 2 of the 5, delivering their last messages ONLY to
                 // the lowest-id survivor: it sees 3 messages (below the
                 // threshold for n = 36), the rest see 3 as well... make it
@@ -235,7 +240,10 @@ fn deterministic_replay_across_the_whole_stack() {
         let verdict = check_consensus(
             &SynRan::new(),
             &split_inputs(n),
-            SimConfig::new(n).faults(n - 1).seed(seed).max_rounds(50_000),
+            SimConfig::new(n)
+                .faults(n - 1)
+                .seed(seed)
+                .max_rounds(50_000),
             &mut adversary,
         )
         .unwrap();

@@ -5,8 +5,8 @@
 use synran::adversary::{Balancer, RandomKiller};
 use synran::analysis::{lemma_4_4_bound, Binomial, ShapeFit};
 use synran::coin::{
-    bias_radius, estimate_control, CombinedHider, GreedyHider, MajorityGame, Outcome,
-    schechtman_bound, HypercubeSet,
+    bias_radius, estimate_control, schechtman_bound, CombinedHider, GreedyHider, HypercubeSet,
+    MajorityGame, Outcome,
 };
 use synran::core::{run_batch, FloodingConsensus, InputAssignment, SynRan};
 use synran::sim::{Passive, SimConfig, SimRng};
@@ -21,8 +21,14 @@ fn e1_majority_controlled_one_way() {
     let mut rng = SimRng::new(1);
     let est = estimate_control(&game, &GreedyHider, t.min(n), 200, &mut rng);
     assert!(est.forcible_fraction(Outcome(0)) > 1.0 - 1.0 / n as f64);
-    assert!(est.forcible_fraction(Outcome(1)) < 0.7, "1 must stay unforcible");
-    assert_eq!(est.controlled_outcome(1.0 - 1.0 / n as f64), Some(Outcome(0)));
+    assert!(
+        est.forcible_fraction(Outcome(1)) < 0.7,
+        "1 must stay unforcible"
+    );
+    assert_eq!(
+        est.controlled_outcome(1.0 - 1.0 / n as f64),
+        Some(Outcome(0))
+    );
 }
 
 /// E1's impossibility half, exactly: no hide-set ever forces majority to 1
@@ -52,9 +58,7 @@ fn e2_blowup_bound_holds() {
         }
         let alpha = a.measure();
         for l in 0..=n {
-            assert!(
-                a.blow_up(l).measure() + 1e-12 >= schechtman_bound(n as usize, alpha, l)
-            );
+            assert!(a.blow_up(l).measure() + 1e-12 >= schechtman_bound(n as usize, alpha, l));
         }
     }
 }

@@ -1,0 +1,92 @@
+//! The parallel execution layer's contract: for every thread count, the
+//! results are **byte-identical** to the serial (`threads = 1`) run.
+//!
+//! These tests pin the contract end-to-end — through `estimate_valency`,
+//! `run_batch`, and the raw `par_map` primitive — at thread counts both
+//! below and above this machine's core count (oversubscription included).
+
+use synran::adversary::{estimate_valency, ProbeSet, RandomKiller};
+use synran::prelude::*;
+use synran::sim::parallel;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// `par_map` is exactly the serial map, whatever the worker count.
+#[test]
+fn par_map_matches_serial_map() {
+    let golden: Vec<u64> = (0..97)
+        .map(|i| SimRng::new(0xFEED).derive(i as u64).next_u64())
+        .collect();
+    for threads in [1usize, 2, 3, 8, 97, 200] {
+        let got = parallel::par_map(threads, 97, |i| {
+            SimRng::new(0xFEED).derive(i as u64).next_u64()
+        });
+        assert_eq!(got, golden, "threads={threads}");
+    }
+}
+
+/// Valency estimates are thread-count invariant: every configuration
+/// reproduces the serial golden value exactly (f64 bit pattern included).
+#[test]
+fn valency_estimate_is_thread_count_invariant() {
+    let n = 12;
+    let build = |threads: usize| {
+        let protocol = SynRan::new();
+        let mut world = World::new(
+            SimConfig::new(n)
+                .faults(n / 2)
+                .seed(21)
+                .max_rounds(5_000)
+                .threads(threads),
+            |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+        )
+        .expect("valid config");
+        world.phase_a().expect("phase A");
+        world
+    };
+    let probes = ProbeSet::synran(n / 2);
+    let golden = estimate_valency(&build(1), &probes, 3, 30, 17).expect("estimate");
+    for threads in THREAD_COUNTS {
+        let est = estimate_valency(&build(threads), &probes, 3, 30, 17).expect("estimate");
+        assert_eq!(est, golden, "threads={threads}");
+        assert_eq!(
+            format!("{est:?}"),
+            format!("{golden:?}"),
+            "threads={threads}: debug repr must match bit-for-bit"
+        );
+    }
+}
+
+/// Seed batches are thread-count invariant, including the per-run seed
+/// sequence and every verdict.
+#[test]
+fn run_batch_is_thread_count_invariant() {
+    let n = 8;
+    let protocol = SynRan::new();
+    let cfg = |threads: usize| {
+        SimConfig::new(n)
+            .faults(n - 1)
+            .max_rounds(50_000)
+            .threads(threads)
+    };
+    let go = |threads: usize| {
+        run_batch(
+            &protocol,
+            InputAssignment::Random,
+            &cfg(threads),
+            24,
+            0xBA7C4,
+            |seed| RandomKiller::new(2, seed),
+        )
+        .expect("batch")
+    };
+    let golden = go(1);
+    for threads in THREAD_COUNTS {
+        let out = go(threads);
+        assert_eq!(
+            format!("{out:?}"),
+            format!("{golden:?}"),
+            "threads={threads}"
+        );
+    }
+}

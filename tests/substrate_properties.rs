@@ -1,12 +1,14 @@
 //! Property tests on the substrate crates: coin-game searchers, blow-up
 //! machinery, RNG, and message primitives.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from fixed-seed [`SimRng`] generators rather than a
+//! property-testing framework, so every CI run checks the same inputs and
+//! failures reproduce by case index.
 
 use synran::coin::{
-    with_hidden, CoinGame, CombinedHider, ExhaustiveHider, GreedyHider, HideSearch,
-    HypercubeSet, MajorityGame, ModKGame, OneSidedGame, Outcome, ParityGame,
-    RecursiveMajorityGame, SearchOutcome, ThresholdGame, TribesGame,
+    with_hidden, CoinGame, CombinedHider, ExhaustiveHider, GreedyHider, HideSearch, HypercubeSet,
+    MajorityGame, ModKGame, OneSidedGame, Outcome, ParityGame, RecursiveMajorityGame,
+    SearchOutcome, ThresholdGame, TribesGame,
 };
 use synran::sim::{Bit, Inbox, ProcessId, SimRng};
 
@@ -35,31 +37,39 @@ impl GameChoice {
     }
 }
 
-fn game_strategy() -> impl Strategy<Value = GameChoice> {
-    prop_oneof![
-        (1usize..12).prop_map(GameChoice::Majority),
-        (1usize..12).prop_map(GameChoice::Parity),
-        (1usize..12).prop_map(GameChoice::OneSided),
-        (2usize..12).prop_flat_map(|n| (Just(n), 1..=n).prop_map(|(n, q)| GameChoice::Threshold(n, q))),
-        ((1usize..4), (1usize..4)).prop_map(|(b, w)| GameChoice::Tribes(b, w)),
-        ((1usize..8), (2usize..5)).prop_map(|(n, k)| GameChoice::ModK(n, k)),
-        (1u32..3).prop_map(GameChoice::RecursiveMajority),
-    ]
+/// Draws a random game, covering every family with the same parameter
+/// ranges the former proptest strategy used.
+fn random_game(rng: &mut SimRng) -> GameChoice {
+    match rng.index(7) {
+        0 => GameChoice::Majority(1 + rng.index(11)),
+        1 => GameChoice::Parity(1 + rng.index(11)),
+        2 => GameChoice::OneSided(1 + rng.index(11)),
+        3 => {
+            let n = 2 + rng.index(10);
+            GameChoice::Threshold(n, 1 + rng.index(n))
+        }
+        4 => GameChoice::Tribes(1 + rng.index(3), 1 + rng.index(3)),
+        5 => GameChoice::ModK(1 + rng.index(7), 2 + rng.index(3)),
+        _ => GameChoice::RecursiveMajority(1 + rng.index(2) as u32),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+/// A uniform fraction in `[0, 1)`.
+fn unit_fraction(rng: &mut SimRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
-    /// Soundness: whatever a searcher claims to force, re-evaluating the
-    /// game under the returned hide-set confirms — and the set respects
-    /// the budget.
-    #[test]
-    fn searchers_are_sound(
-        choice in game_strategy(),
-        seed in any::<u64>(),
-        t_frac in 0.0f64..1.0,
-        target_idx in 0usize..5,
-    ) {
+/// Soundness: whatever a searcher claims to force, re-evaluating the
+/// game under the returned hide-set confirms — and the set respects
+/// the budget.
+#[test]
+fn searchers_are_sound() {
+    let mut gen = SimRng::new(0x50A2);
+    for case in 0..64 {
+        let choice = random_game(&mut gen);
+        let seed = gen.next_u64();
+        let t_frac = unit_fraction(&mut gen);
+        let target_idx = gen.index(5);
         let game = choice.build();
         let n = game.players();
         let t = ((n as f64) * t_frac) as usize;
@@ -73,24 +83,26 @@ proptest! {
             CombinedHider::default().force(game.as_ref(), &values, t, target),
         ] {
             if let SearchOutcome::Forced(set) = result {
-                prop_assert!(set.len() <= t, "hide-set larger than budget");
+                assert!(set.len() <= t, "case {case}: hide-set larger than budget");
                 let mut sorted = set.clone();
                 sorted.sort_unstable();
                 sorted.dedup();
-                prop_assert_eq!(sorted.len(), set.len(), "duplicate hides");
-                prop_assert_eq!(game.outcome(&with_hidden(&values, &set)), target);
+                assert_eq!(sorted.len(), set.len(), "case {case}: duplicate hides");
+                assert_eq!(game.outcome(&with_hidden(&values, &set)), target);
             }
         }
     }
+}
 
-    /// Completeness of the exact searcher relative to greedy: greedy can
-    /// never find a forcing set the exhaustive search misses.
-    #[test]
-    fn exhaustive_dominates_greedy(
-        choice in game_strategy(),
-        seed in any::<u64>(),
-        t in 0usize..4,
-    ) {
+/// Completeness of the exact searcher relative to greedy: greedy can
+/// never find a forcing set the exhaustive search misses.
+#[test]
+fn exhaustive_dominates_greedy() {
+    let mut gen = SimRng::new(0xD011);
+    for case in 0..64 {
+        let choice = random_game(&mut gen);
+        let seed = gen.next_u64();
+        let t = gen.index(4);
         let game = choice.build();
         let mut rng = SimRng::new(seed);
         let values = synran::coin::sample_inputs(game.as_ref(), &mut rng);
@@ -98,23 +110,25 @@ proptest! {
             let greedy = GreedyHider.force(game.as_ref(), &values, t, Outcome(v));
             let exact = ExhaustiveHider::default().force(game.as_ref(), &values, t, Outcome(v));
             if greedy.is_forced() {
-                prop_assert!(exact.is_forced());
+                assert!(exact.is_forced(), "case {case}");
             }
             if exact == SearchOutcome::Impossible {
-                prop_assert!(!greedy.is_forced());
+                assert!(!greedy.is_forced(), "case {case}");
             }
         }
     }
+}
 
-    /// Blow-up is monotone, extensive, and saturates at the full cube.
-    #[test]
-    fn blowup_invariants(
-        n in 1u32..10,
-        density in 0.0f64..1.0,
-        seed in any::<u64>(),
-        l1 in 0u32..10,
-        l2 in 0u32..10,
-    ) {
+/// Blow-up is monotone, extensive, and saturates at the full cube.
+#[test]
+fn blowup_invariants() {
+    let mut gen = SimRng::new(0xB10);
+    for case in 0..64 {
+        let n = 1 + gen.index(9) as u32;
+        let density = unit_fraction(&mut gen);
+        let seed = gen.next_u64();
+        let l1 = gen.index(10) as u32;
+        let l2 = gen.index(10) as u32;
         let mut rng = SimRng::new(seed);
         let a = HypercubeSet::random(n, density, &mut rng);
         let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
@@ -122,65 +136,95 @@ proptest! {
         let b_hi = a.blow_up(hi.min(n));
         // Extensive: A ⊆ B(A, l). Monotone: B(A, lo) ⊆ B(A, hi).
         for p in a.points() {
-            prop_assert!(b_lo.contains(p));
+            assert!(b_lo.contains(p), "case {case}");
         }
         for p in b_lo.points() {
-            prop_assert!(b_hi.contains(p));
+            assert!(b_hi.contains(p), "case {case}");
         }
         if !a.is_empty() {
-            prop_assert_eq!(a.blow_up(n).count(), 1u64 << n, "radius n covers the cube");
+            assert_eq!(
+                a.blow_up(n).count(),
+                1u64 << n,
+                "case {case}: radius n covers the cube"
+            );
         }
     }
+}
 
-    /// The RNG's bounded draw is unbiased enough to always stay in range,
-    /// and distinct streams never alias for distinct coordinates.
-    #[test]
-    fn rng_invariants(seed in any::<u64>(), bound in 1u64..1000, draws in 1usize..50) {
+/// The RNG's bounded draw is unbiased enough to always stay in range,
+/// and distinct streams never alias for distinct coordinates.
+#[test]
+fn rng_invariants() {
+    let mut gen = SimRng::new(0x4216);
+    for _case in 0..64 {
+        let seed = gen.next_u64();
+        let bound = 1 + gen.below(999);
+        let draws = 1 + gen.index(49);
         let mut rng = SimRng::new(seed);
         for _ in 0..draws {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
-        let a = SimRng::stream(seed, ProcessId::new(1), synran::sim::Round::new(2),
-                               synran::sim::StreamPhase::Send);
-        let b = SimRng::stream(seed, ProcessId::new(2), synran::sim::Round::new(1),
-                               synran::sim::StreamPhase::Send);
-        prop_assert_ne!(a, b, "stream collision across coordinates");
+        let a = SimRng::stream(
+            seed,
+            ProcessId::new(1),
+            synran::sim::Round::new(2),
+            synran::sim::StreamPhase::Send,
+        );
+        let b = SimRng::stream(
+            seed,
+            ProcessId::new(2),
+            synran::sim::Round::new(1),
+            synran::sim::StreamPhase::Send,
+        );
+        assert_ne!(a, b, "stream collision across coordinates");
     }
+}
 
-    /// Inboxes built from arbitrary unordered input sort by sender and
-    /// answer lookups consistently.
-    #[test]
-    fn inbox_invariants(senders in proptest::collection::btree_set(0usize..64, 0..20)) {
+/// Inboxes built from arbitrary unordered input sort by sender and
+/// answer lookups consistently.
+#[test]
+fn inbox_invariants() {
+    let mut gen = SimRng::new(0x1B0);
+    for case in 0..64 {
+        let count = gen.index(20);
+        let senders: std::collections::BTreeSet<usize> =
+            (0..count).map(|_| gen.index(64)).collect();
         let inbox: Inbox<Bit> = senders
             .iter()
             .rev() // feed in descending order to exercise the sort
             .map(|&s| (ProcessId::new(s), Bit::from(s % 2 == 0)))
             .collect();
-        prop_assert_eq!(inbox.len(), senders.len());
+        assert_eq!(inbox.len(), senders.len(), "case {case}");
         let mut last = None;
         for (s, m) in inbox.iter() {
-            prop_assert!(last.is_none_or(|l| l < *s), "not ascending");
-            prop_assert_eq!(inbox.from(*s), Some(m));
+            assert!(last.is_none_or(|l| l < *s), "case {case}: not ascending");
+            assert_eq!(inbox.from(*s), Some(m));
             last = Some(*s);
         }
-        prop_assert_eq!(
+        assert_eq!(
             inbox.count_where(|m| m.is_one()),
             senders.iter().filter(|s| *s % 2 == 0).count()
         );
     }
+}
 
-    /// Sampling k distinct indices really gives k distinct in-range
-    /// indices, for all k ≤ len.
-    #[test]
-    fn sample_indices_invariants(seed in any::<u64>(), len in 1usize..64, k_frac in 0.0f64..=1.0) {
+/// Sampling k distinct indices really gives k distinct in-range
+/// indices, for all k ≤ len.
+#[test]
+fn sample_indices_invariants() {
+    let mut gen = SimRng::new(0x5A3);
+    for case in 0..64 {
+        let seed = gen.next_u64();
+        let len = 1 + gen.index(63);
+        let k_frac = unit_fraction(&mut gen);
         let k = ((len as f64) * k_frac) as usize;
         let mut rng = SimRng::new(seed);
         let sample = rng.sample_indices(len, k);
-        prop_assert_eq!(sample.len(), k);
+        assert_eq!(sample.len(), k, "case {case}");
         let mut sorted = sample.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), k);
-        prop_assert!(sample.iter().all(|&i| i < len));
+        assert_eq!(sorted.len(), k, "case {case}");
+        assert!(sample.iter().all(|&i| i < len), "case {case}");
     }
 }
