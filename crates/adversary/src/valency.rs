@@ -274,6 +274,11 @@ where
 {
     assert!(!probes.is_empty(), "need at least one probe");
     assert!(samples > 0, "need at least one sample per probe");
+    // Telemetry is observe-only: the span and counters below never touch
+    // the fork seeds or the fold, so the estimate is identical with any
+    // handle (or none) attached to `world`.
+    let telemetry = world.telemetry();
+    let _span = telemetry.span("valency.estimate");
     // One work unit per (probe, sample) pair, in the serial nested-loop
     // order. Seeds depend only on the pair's indices.
     let seeder = SimRng::new(seed);
@@ -308,17 +313,30 @@ where
         },
     )?;
     // Reduce in unit order: float addition is not associative, so the fold
-    // must not depend on completion order.
+    // must not depend on completion order. Probe-outcome counters are also
+    // tallied here (not in the workers) so they accumulate deterministically.
     let mut per_probe = Vec::with_capacity(probes.len());
     let mut undecided_total = 0usize;
+    let (mut ones, mut zeros) = (0u64, 0u64);
     for (idx, (name, _)) in probes.factories.iter().enumerate() {
         let mut sum = 0.0;
         for &(score, undecided) in &outcomes[idx * samples..(idx + 1) * samples] {
             sum += score;
             undecided_total += usize::from(undecided);
+            if !undecided {
+                if score == 1.0 {
+                    ones += 1;
+                } else {
+                    zeros += 1;
+                }
+            }
         }
         per_probe.push((name.clone(), sum / samples as f64));
     }
+    telemetry.incr("valency.estimates", 1);
+    telemetry.incr("valency.probe.decided_one", ones);
+    telemetry.incr("valency.probe.decided_zero", zeros);
+    telemetry.incr("valency.probe.undecided", undecided_total as u64);
     let min_p1 = per_probe
         .iter()
         .map(|&(_, p)| p)

@@ -22,7 +22,7 @@ use synran_bench::harness::{Bencher, Measurement};
 use synran_coin::{CombinedHider, ExhaustiveHider, GreedyHider, HideSearch, MajorityGame, Outcome};
 use synran_core::{ConsensusProtocol, SynRan};
 use synran_sim::testing::CountDown;
-use synran_sim::{parallel, Bit, Passive, SimConfig, SimRng, World};
+use synran_sim::{parallel, Bit, Passive, SimConfig, SimRng, Telemetry, TelemetryMode, World};
 
 /// Runs `f` and prints its measurement when `name` passes the filter.
 fn run(b: &Bencher, filter: &[String], name: &str, f: impl FnMut()) {
@@ -155,6 +155,59 @@ fn bench_valency_parallel(b: &Bencher, filter: &[String]) {
     }
 }
 
+/// Telemetry overhead guard: the same fixed workload (a SynRan run under
+/// the unbounded balancer at n = 64, fresh hub per iteration) measured
+/// with telemetry off, counters-only, and full spans. Telemetry is meant
+/// to be observe-only in *time* as well as in results; the documented
+/// bound is ~5% overhead on the fastest iteration, asserted here so a
+/// regression fails `cargo bench` loudly. The ratio compares `min_ns`
+/// (the least noisy statistic the harness reports).
+fn bench_telemetry_overhead(b: &Bencher, filter: &[String]) {
+    const OVERHEAD_BOUND: f64 = 1.05;
+    let name = "telemetry_overhead/balancer_split/64";
+    if !filter.is_empty() && !filter.iter().any(|pat| name.contains(pat.as_str())) {
+        return;
+    }
+    let n = 64usize;
+    let protocol = SynRan::new();
+    let workload = |mode: TelemetryMode| {
+        let protocol = &protocol;
+        move || {
+            let mut world = World::new(
+                SimConfig::new(n).faults(n - 1).seed(2).max_rounds(100_000),
+                |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+            )
+            .expect("valid config");
+            world.set_telemetry(Telemetry::new(mode));
+            std::hint::black_box(world.run(&mut Balancer::unbounded()).expect("run"));
+        }
+    };
+    let off = b.bench(format!("{name}/off"), workload(TelemetryMode::Off));
+    println!("{}", off.render());
+    let counters = b.bench(
+        format!("{name}/counters"),
+        workload(TelemetryMode::Counters),
+    );
+    println!("{}", counters.render());
+    let spans = b.bench(format!("{name}/spans"), workload(TelemetryMode::Spans));
+    println!("{}", spans.render());
+    let counters_ratio = counters.min_ns / off.min_ns;
+    let spans_ratio = spans.min_ns / off.min_ns;
+    println!(
+        "telemetry overhead (min over {} iters): counters {counters_ratio:.3}x, \
+         spans {spans_ratio:.3}x (bound {OVERHEAD_BOUND}x)",
+        off.iters
+    );
+    assert!(
+        counters_ratio < OVERHEAD_BOUND,
+        "counters-mode telemetry overhead {counters_ratio:.3}x exceeds the {OVERHEAD_BOUND}x bound"
+    );
+    assert!(
+        spans_ratio < OVERHEAD_BOUND,
+        "spans-mode telemetry overhead {spans_ratio:.3}x exceeds the {OVERHEAD_BOUND}x bound"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Cargo passes `--bench` under `cargo bench`; under `cargo test` the
@@ -176,4 +229,5 @@ fn main() {
     bench_coin_search(&b, &filter);
     bench_valency(&b, &filter);
     bench_valency_parallel(&b, &filter);
+    bench_telemetry_overhead(&b, &filter);
 }

@@ -17,9 +17,9 @@
 use std::time::Instant;
 
 use synran_adversary::{estimate_valency, Balancer, ProbeSet};
-use synran_bench::Args;
-use synran_core::{run_batch, ConsensusProtocol, InputAssignment, SynRan};
-use synran_sim::{parallel, Bit, SimConfig, World};
+use synran_bench::{results_telemetry_path, write_telemetry_jsonl, Args};
+use synran_core::{run_batch, run_batch_with, ConsensusProtocol, InputAssignment, SynRan};
+use synran_sim::{parallel, Bit, SimConfig, Telemetry, TelemetryMode, World};
 
 /// One serial-vs-parallel comparison row.
 struct Row {
@@ -115,6 +115,72 @@ fn batch_row(n: usize, threads: usize, runs: usize, reps: usize) -> Row {
     }
 }
 
+/// One spans-mode pass — a valency estimate plus a seed batch at the given
+/// thread count — returning the hub with the phase breakdown. Run outside
+/// the timed loops: telemetry is observe-only, but the breakdown should
+/// describe an instrumented run, not perturb the timed ones.
+fn instrumented_pass(
+    n: usize,
+    threads: usize,
+    samples: usize,
+    horizon: u32,
+    runs: usize,
+) -> Telemetry {
+    let telemetry = Telemetry::new(TelemetryMode::Spans);
+    let protocol = SynRan::new();
+    let mut world = World::new(
+        SimConfig::new(n)
+            .faults(n / 2)
+            .seed(4)
+            .max_rounds(10_000)
+            .threads(threads),
+        |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+    )
+    .expect("valid config");
+    world.set_telemetry(telemetry.clone());
+    world.phase_a().expect("phase A");
+    let probes = ProbeSet::synran(n / 2);
+    estimate_valency(&world, &probes, samples, horizon, 5).expect("estimate");
+    run_batch_with(
+        &protocol,
+        InputAssignment::Split { ones: n / 2 },
+        &SimConfig::new(n)
+            .faults(n - 1)
+            .max_rounds(100_000)
+            .threads(threads),
+        runs,
+        9,
+        &telemetry,
+        |_| Balancer::unbounded(),
+    )
+    .expect("batch");
+    telemetry
+}
+
+/// Span totals of a hub as a JSON array (name order).
+fn span_totals_json(telemetry: &Telemetry) -> String {
+    let items: Vec<String> = telemetry
+        .snapshot()
+        .span_totals()
+        .iter()
+        .map(|(name, count, total_ns)| {
+            format!("{{\"name\": \"{name}\", \"count\": {count}, \"total_ns\": {total_ns}}}")
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Counters of a hub as a JSON object (name order).
+fn counters_json(telemetry: &Telemetry) -> String {
+    let items: Vec<String> = telemetry
+        .snapshot()
+        .counters
+        .iter()
+        .map(|(name, value)| format!("\"{name}\": {value}"))
+        .collect();
+    format!("{{{}}}", items.join(", "))
+}
+
 fn main() {
     let args = Args::from_env();
     let reps = args.get_usize("reps", 3);
@@ -158,6 +224,18 @@ fn main() {
         rows.push(s);
     }
 
+    // Spans-mode instrumentation pass (not timed): the serial-vs-parallel
+    // phase breakdown recorded under the versioned "telemetry" key.
+    let telemetry_n = 64usize;
+    let serial_hub = instrumented_pass(telemetry_n, 1, samples, horizon, runs);
+    let parallel_hub = instrumented_pass(telemetry_n, threads, samples, horizon, runs);
+    let telemetry_block = format!(
+        "  \"telemetry\": {{\n    \"version\": 1,\n    \"mode\": \"spans\",\n    \
+         \"n\": {telemetry_n},\n    \"serial_spans\": {},\n    \"parallel_spans\": {}\n  }},\n",
+        span_totals_json(&serial_hub),
+        span_totals_json(&parallel_hub)
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"bench_parallel\",\n");
@@ -168,6 +246,7 @@ fn main() {
         "  \"note\": \"speedup target (>=2x at n=256) applies on machines with >=4 cores; \
          results at every thread count are byte-identical by construction\",\n",
     );
+    json.push_str(&telemetry_block);
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -185,4 +264,57 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json).expect("write baseline");
     println!("wrote {out}");
+
+    // The same instrumented run, recorded as its own artifact.
+    let mut summary = String::new();
+    summary.push_str("{\n");
+    summary.push_str("  \"bench\": \"bench_parallel\",\n");
+    summary.push_str("  \"version\": 1,\n");
+    summary.push_str(&format!("  \"cores\": {cores},\n"));
+    summary.push_str(&format!("  \"threads_parallel\": {threads},\n"));
+    summary.push_str(&format!("  \"n\": {telemetry_n},\n"));
+    summary.push_str(&format!(
+        "  \"serial\": {{\"counters\": {}, \"spans\": {}}},\n",
+        counters_json(&serial_hub),
+        span_totals_json(&serial_hub)
+    ));
+    summary.push_str(&format!(
+        "  \"parallel\": {{\"counters\": {}, \"spans\": {}}}\n",
+        counters_json(&parallel_hub),
+        span_totals_json(&parallel_hub)
+    ));
+    summary.push_str("}\n");
+    std::fs::write("BENCH_telemetry.json", summary).expect("write telemetry summary");
+    println!("wrote BENCH_telemetry.json");
+
+    // Per-round kill-budget accounting from one representative balancer
+    // run, emitted next to the experiment results.
+    let protocol = SynRan::new();
+    let kill_hub = Telemetry::new(TelemetryMode::Counters);
+    let mut world = World::new(
+        SimConfig::new(telemetry_n)
+            .faults(telemetry_n - 1)
+            .seed(9)
+            .max_rounds(100_000),
+        |pid| protocol.spawn(pid, telemetry_n, Bit::from(pid.index() < telemetry_n / 2)),
+    )
+    .expect("valid config");
+    world.set_telemetry(kill_hub.clone());
+    let report = world.run(&mut Balancer::unbounded()).expect("run");
+    let jsonl_path = results_telemetry_path("bench_parallel");
+    write_telemetry_jsonl(
+        &jsonl_path,
+        &[
+            ("experiment", "bench_parallel".to_string()),
+            ("adversary", "balancer".to_string()),
+            ("n", telemetry_n.to_string()),
+            ("t", (telemetry_n - 1).to_string()),
+            ("seed", "9".to_string()),
+        ],
+        &kill_hub,
+        report.metrics().kills_per_round(),
+        telemetry_n,
+    )
+    .expect("write telemetry jsonl");
+    println!("wrote {}", jsonl_path.display());
 }

@@ -14,9 +14,9 @@
 
 use synran_adversary::{find_adversarial_input, LowerBoundAdversary};
 use synran_analysis::{fmt_f64, lower_bound_rounds, ShapeFit, Summary, Table};
-use synran_bench::{banner, section, Args};
-use synran_core::{check_consensus, per_round_kill_budget, SynRan};
-use synran_sim::{Passive, SimConfig, SimRng};
+use synran_bench::{banner, results_telemetry_path, section, write_telemetry_jsonl, Args};
+use synran_core::{check_consensus_with, per_round_kill_budget, SynRan};
+use synran_sim::{Passive, SimConfig, SimRng, Telemetry, TelemetryMode};
 
 #[derive(Debug, Clone, Copy)]
 enum Attack {
@@ -24,7 +24,14 @@ enum Attack {
     LowerBound { cap: usize, samples: usize },
 }
 
-fn mean_rounds(n: usize, t: usize, runs: usize, seed: u64, attack: Attack) -> (f64, f64, f64) {
+fn mean_rounds(
+    n: usize,
+    t: usize,
+    runs: usize,
+    seed: u64,
+    attack: Attack,
+    telemetry: &Telemetry,
+) -> (f64, f64, f64) {
     let protocol = SynRan::new();
     let inputs: Vec<synran_sim::Bit> = (0..n).map(|i| synran_sim::Bit::from(i < n / 2)).collect();
     let mut rounds = Vec::new();
@@ -36,11 +43,13 @@ fn mean_rounds(n: usize, t: usize, runs: usize, seed: u64, attack: Attack) -> (f
             .seed(run_seed)
             .max_rounds(100_000);
         let verdict = match attack {
-            Attack::Passive => check_consensus(&protocol, &inputs, cfg, &mut Passive),
+            Attack::Passive => {
+                check_consensus_with(&protocol, &inputs, cfg, &mut Passive, telemetry)
+            }
             Attack::LowerBound { cap, samples } => {
                 let horizon = 3 * (n as f64).sqrt() as u32 + 20;
                 let mut adv = LowerBoundAdversary::with_params(cap, samples, horizon, run_seed);
-                check_consensus(&protocol, &inputs, cfg, &mut adv)
+                check_consensus_with(&protocol, &inputs, cfg, &mut adv, telemetry)
             }
         }
         .expect("engine error");
@@ -75,6 +84,10 @@ fn main() {
     println!(
         "valency-guided adversary, paper cap = ⌈4√(n·ln n)⌉ + 1 per round, {runs} runs/point, {samples} forks/probe"
     );
+    // One counters-mode hub across the whole experiment; exported to
+    // results/e3_lower_bound.telemetry.jsonl at the end. Observe-only: the
+    // tables are identical with or without it.
+    let telemetry = Telemetry::new(TelemetryMode::Counters);
 
     section("forced rounds vs the t/√(n·ln n) curve");
     let mut table = Table::new([
@@ -93,9 +106,16 @@ fn main() {
     for &n in &sizes {
         let cap = per_round_kill_budget(n).ceil() as usize + 1;
         for t in [n / 2, n - 1] {
-            let (passive_mean, _, _) = mean_rounds(n, t, runs, seed ^ 0xAAAA, Attack::Passive);
-            let (forced_mean, ci, kills) =
-                mean_rounds(n, t, runs, seed, Attack::LowerBound { cap, samples });
+            let (passive_mean, _, _) =
+                mean_rounds(n, t, runs, seed ^ 0xAAAA, Attack::Passive, &telemetry);
+            let (forced_mean, ci, kills) = mean_rounds(
+                n,
+                t,
+                runs,
+                seed,
+                Attack::LowerBound { cap, samples },
+                &telemetry,
+            );
             let curve = lower_bound_rounds(n, t);
             measured.push(forced_mean);
             predicted.push(curve);
@@ -136,6 +156,7 @@ fn main() {
                 cap: starved_cap,
                 samples,
             },
+            &telemetry,
         );
         pinch.row([
             n.to_string(),
@@ -157,4 +178,45 @@ fn main() {
     println!(
         "n = {n}: passive-play flip point at {ones} ones — the non-univalent initial state the chain argument finds"
     );
+
+    // Telemetry artifact: the experiment-wide counters plus per-round
+    // kill-budget accounting from one representative forced run.
+    let rep_n = *sizes.last().expect("sizes nonempty");
+    let rep_t = rep_n - 1;
+    let rep_cap = per_round_kill_budget(rep_n).ceil() as usize + 1;
+    let rep_seed = SimRng::new(seed).derive(0).next_u64();
+    let rep_inputs: Vec<synran_sim::Bit> = (0..rep_n)
+        .map(|i| synran_sim::Bit::from(i < rep_n / 2))
+        .collect();
+    let horizon = 3 * (rep_n as f64).sqrt() as u32 + 20;
+    let mut rep_adv = LowerBoundAdversary::with_params(rep_cap, samples, horizon, rep_seed);
+    let rep_verdict = check_consensus_with(
+        &SynRan::new(),
+        &rep_inputs,
+        SimConfig::new(rep_n)
+            .faults(rep_t)
+            .seed(rep_seed)
+            .max_rounds(100_000),
+        &mut rep_adv,
+        &telemetry,
+    )
+    .expect("engine error");
+    let path = results_telemetry_path("e3_lower_bound");
+    write_telemetry_jsonl(
+        &path,
+        &[
+            ("experiment", "e3_lower_bound".to_string()),
+            ("adversary", "lower-bound".to_string()),
+            ("n", rep_n.to_string()),
+            ("t", rep_t.to_string()),
+            ("cap_per_round", rep_cap.to_string()),
+            ("seed", seed.to_string()),
+            ("runs", runs.to_string()),
+        ],
+        &telemetry,
+        rep_verdict.report().metrics().kills_per_round(),
+        rep_n,
+    )
+    .expect("write telemetry jsonl");
+    println!("\ntelemetry: {}", path.display());
 }

@@ -10,18 +10,23 @@
 
 use synran_adversary::Balancer;
 use synran_analysis::{fmt_f64, Accumulator, Table};
-use synran_bench::{banner, section, Args};
-use synran_core::{check_consensus, ln_clamped, SynRan};
-use synran_sim::{Bit, SimConfig, SimRng};
+use synran_bench::{banner, results_telemetry_path, section, write_telemetry_jsonl, Args};
+use synran_core::{check_consensus_with, ln_clamped, SynRan};
+use synran_sim::{Bit, SimConfig, SimRng, Telemetry, TelemetryMode};
 
 /// Per-block observations: population at block start, kills in the block.
-fn blocks_of_one_run(n: usize, seed: u64, cap: Option<usize>) -> (Vec<(usize, usize)>, u32) {
+fn blocks_of_one_run(
+    n: usize,
+    seed: u64,
+    cap: Option<usize>,
+    telemetry: &Telemetry,
+) -> (Vec<(usize, usize)>, u32) {
     let inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i < n / 2)).collect();
     let mut adversary = match cap {
         Some(c) => Balancer::with_cap(c),
         None => Balancer::unbounded(),
     };
-    let verdict = check_consensus(
+    let verdict = check_consensus_with(
         &SynRan::new(),
         &inputs,
         SimConfig::new(n)
@@ -29,6 +34,7 @@ fn blocks_of_one_run(n: usize, seed: u64, cap: Option<usize>) -> (Vec<(usize, us
             .seed(seed)
             .max_rounds(200_000),
         &mut adversary,
+        telemetry,
     )
     .expect("engine error");
     assert!(verdict.is_correct(), "{:?}", verdict.violations());
@@ -65,6 +71,10 @@ fn main() {
         "the adversary must spend ~√(p·log p)/16 kills per 3-round block to stall SynRan",
     );
     println!("n = {n}, t = n − 1, {runs} runs, even-split inputs, balancer adversary");
+    // One counters-mode hub across the whole experiment; exported to
+    // results/e8_budget_ablation.telemetry.jsonl at the end. Observe-only:
+    // the tables are identical with or without it.
+    let telemetry = Telemetry::new(TelemetryMode::Counters);
 
     section("spend per 3-round block vs √(p·ln p), by population band");
     // Aggregate block spends into population bands [n/2^k, n/2^{k+1}).
@@ -74,7 +84,7 @@ fn main() {
     let mut total_kills = Accumulator::new();
     for r in 0..runs {
         let run_seed = SimRng::new(seed).derive(r as u64).next_u64();
-        let (blocks, rounds) = blocks_of_one_run(n, run_seed, None);
+        let (blocks, rounds) = blocks_of_one_run(n, run_seed, None, &telemetry);
         total_rounds.push(f64::from(rounds));
         total_kills.push(blocks.iter().map(|&(_, k)| k as f64).sum());
         for (p, kills) in blocks {
@@ -132,7 +142,7 @@ fn main() {
         let mut kills_acc = Accumulator::new();
         for r in 0..runs {
             let run_seed = SimRng::new(seed ^ 0xAB).derive(r as u64).next_u64();
-            let (blocks, rounds) = blocks_of_one_run(n, run_seed, cap);
+            let (blocks, rounds) = blocks_of_one_run(n, run_seed, cap, &telemetry);
             rounds_acc.push(f64::from(rounds));
             kills_acc.push(blocks.iter().map(|&(_, k)| k as f64).sum());
         }
@@ -145,4 +155,37 @@ fn main() {
     print!("{ablation}");
     println!("\nexpected: caps below ~√(n·ln n) starve the split move and stalling collapses —");
     println!("the same threshold the paper's lower-bound adversary needs per round.");
+
+    // Telemetry artifact: the experiment-wide counters plus per-round
+    // kill-budget accounting from one representative unbounded run.
+    let rep_seed = SimRng::new(seed).derive(0).next_u64();
+    let rep_inputs: Vec<Bit> = (0..n).map(|i| Bit::from(i < n / 2)).collect();
+    let rep_verdict = check_consensus_with(
+        &SynRan::new(),
+        &rep_inputs,
+        SimConfig::new(n)
+            .faults(n - 1)
+            .seed(rep_seed)
+            .max_rounds(200_000),
+        &mut Balancer::unbounded(),
+        &telemetry,
+    )
+    .expect("engine error");
+    let path = results_telemetry_path("e8_budget_ablation");
+    write_telemetry_jsonl(
+        &path,
+        &[
+            ("experiment", "e8_budget_ablation".to_string()),
+            ("adversary", "balancer".to_string()),
+            ("n", n.to_string()),
+            ("t", (n - 1).to_string()),
+            ("seed", seed.to_string()),
+            ("runs", runs.to_string()),
+        ],
+        &telemetry,
+        rep_verdict.report().metrics().kills_per_round(),
+        n,
+    )
+    .expect("write telemetry jsonl");
+    println!("\ntelemetry: {}", path.display());
 }

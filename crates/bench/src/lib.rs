@@ -17,6 +17,11 @@
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use synran_sim::telemetry::per_round_kill_cap;
+use synran_sim::{JsonlSink, Round, Telemetry, TelemetryEvent, TelemetrySink};
 
 pub mod harness;
 
@@ -120,6 +125,57 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+}
+
+/// The conventional telemetry JSONL path for an experiment binary:
+/// `results/<bin>.telemetry.jsonl` (next to the experiment's `.txt`
+/// results, per EXPERIMENTS.md).
+#[must_use]
+pub fn results_telemetry_path(bin: &str) -> PathBuf {
+    Path::new("results").join(format!("{bin}.telemetry.jsonl"))
+}
+
+/// Writes an experiment's telemetry as JSONL: `meta` attribution lines,
+/// the exported registry (counters → histograms → spans), then one
+/// `round_kills` line per entry of `kills_per_round` scored against the
+/// paper's `4√(n·ln n)+1` per-round cap for system size `n`.
+///
+/// `kills_per_round` is [`synran_sim::Metrics::kills_per_round`] output
+/// from a representative run — sorted, one entry per round.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file (the parent
+/// directory is created if missing).
+pub fn write_telemetry_jsonl(
+    path: &Path,
+    meta: &[(&str, String)],
+    telemetry: &Telemetry,
+    kills_per_round: &[(Round, usize)],
+    n: usize,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut sink = JsonlSink::new(BufWriter::new(std::fs::File::create(path)?));
+    for (key, value) in meta {
+        sink.emit(&TelemetryEvent::Meta {
+            key: (*key).to_string(),
+            value: value.clone(),
+        });
+    }
+    telemetry.export(&mut sink);
+    let cap = per_round_kill_cap(n);
+    for &(round, kills) in kills_per_round {
+        let kills = kills as u64;
+        sink.emit(&TelemetryEvent::RoundKills {
+            round: round.index(),
+            kills,
+            cap,
+            over_cap: kills > cap,
+        });
+    }
+    sink.finish()?.flush()
 }
 
 /// Prints an experiment banner with its DESIGN.md id and the claim under

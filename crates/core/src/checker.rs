@@ -10,7 +10,7 @@
 //! on the observed execution, returning diagnostics instead of panicking so
 //! experiment harnesses and property tests can aggregate.
 
-use synran_sim::{Adversary, Bit, RunReport, SimConfig, SimError, World};
+use synran_sim::{Adversary, Bit, RunReport, SimConfig, SimError, Telemetry, World};
 
 use crate::ConsensusProtocol;
 
@@ -108,9 +108,37 @@ where
     P: ConsensusProtocol,
     A: Adversary<P::Proc>,
 {
+    check_consensus_with(protocol, inputs, cfg, adversary, &Telemetry::off())
+}
+
+/// [`check_consensus`] with a telemetry handle attached to the world, so
+/// the run records engine counters (and phase spans in span mode).
+///
+/// Telemetry is observe-only: the verdict and its report are byte-identical
+/// to [`check_consensus`] for every handle.
+///
+/// # Errors
+///
+/// Propagates engine errors exactly as [`check_consensus`] does.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != cfg.n()`.
+pub fn check_consensus_with<P, A>(
+    protocol: &P,
+    inputs: &[Bit],
+    cfg: SimConfig,
+    adversary: &mut A,
+    telemetry: &Telemetry,
+) -> Result<ConsensusVerdict, SimError>
+where
+    P: ConsensusProtocol,
+    A: Adversary<P::Proc>,
+{
     assert_eq!(inputs.len(), cfg.n(), "one input per process");
     let n = cfg.n();
     let mut world = World::new(cfg, |pid| protocol.spawn(pid, n, inputs[pid.index()]))?;
+    world.set_telemetry(telemetry.clone());
     // The world is discarded here, so consume it into the report instead
     // of cloning the metrics and trace out of it.
     world.drive(adversary)?;

@@ -49,14 +49,14 @@ mod runner;
 mod synran;
 mod value_set;
 
-pub use checker::{check_consensus, evaluate, ConsensusVerdict};
+pub use checker::{check_consensus, check_consensus_with, evaluate, ConsensusVerdict};
 pub use flooding::{FloodingConsensus, FloodingCore, FloodingProcess};
 pub use leader::{LeaderConsensus, LeaderMsg, LeaderProcess};
 pub use math::{
     deterministic_stage_rounds, deterministic_threshold, ln_clamped, per_round_kill_budget,
 };
 pub use protocol::ConsensusProtocol;
-pub use runner::{run_batch, BatchOutcome, InputAssignment};
+pub use runner::{run_batch, run_batch_with, BatchOutcome, InputAssignment};
 pub use synran::{
     CoinRule, PredictedStep, StageKind, SynRan, SynRanMsg, SynRanProcess, Thresholds,
 };

@@ -5,9 +5,9 @@
 //! them, checks every run for consensus violations, and returns the raw
 //! per-run observations for `synran-analysis` to summarise.
 
-use synran_sim::{parallel, Adversary, Bit, SimConfig, SimError, SimRng};
+use synran_sim::{parallel, Adversary, Bit, SimConfig, SimError, SimRng, Telemetry};
 
-use crate::checker::{check_consensus, ConsensusVerdict};
+use crate::checker::{check_consensus_with, ConsensusVerdict};
 use crate::ConsensusProtocol;
 
 /// How inputs are assigned across processes in a batch.
@@ -139,13 +139,50 @@ where
     P: ConsensusProtocol + Sync,
     A: Adversary<P::Proc>,
 {
-    let results = parallel::try_par_map(base_cfg.threads_value(), runs, |i| {
+    run_batch_with(
+        protocol,
+        assignment,
+        base_cfg,
+        runs,
+        base_seed,
+        &Telemetry::off(),
+        make_adversary,
+    )
+}
+
+/// [`run_batch`] with a telemetry handle: every run's world records into
+/// it, the fan-out gets per-worker spans, and the batch itself contributes
+/// a `batch.run_batch` span, `batch.runs` / `batch.timeouts` /
+/// `batch.violations` counters, and `batch.rounds` / `batch.kills`
+/// histograms (accumulated in run order during the deterministic fold).
+///
+/// Telemetry is observe-only: the outcome is byte-identical to
+/// [`run_batch`] for every handle and thread count.
+///
+/// # Errors
+///
+/// Propagates engine errors exactly as [`run_batch`] does.
+pub fn run_batch_with<P, A>(
+    protocol: &P,
+    assignment: InputAssignment,
+    base_cfg: &SimConfig,
+    runs: usize,
+    base_seed: u64,
+    telemetry: &Telemetry,
+    make_adversary: impl Fn(u64) -> A + Sync,
+) -> Result<BatchOutcome, SimError>
+where
+    P: ConsensusProtocol + Sync,
+    A: Adversary<P::Proc>,
+{
+    let _span = telemetry.span("batch.run_batch");
+    let results = parallel::try_par_map_in(telemetry, base_cfg.threads_value(), runs, |i| {
         let seed = SimRng::new(base_seed).derive(i as u64).next_u64();
         let mut input_rng = SimRng::new(seed).derive(0xD1CE);
         let inputs = assignment.materialize(base_cfg.n(), &mut input_rng);
         let cfg = base_cfg.clone().seed(seed);
         let mut adversary = make_adversary(seed);
-        match check_consensus(protocol, &inputs, cfg, &mut adversary) {
+        match check_consensus_with(protocol, &inputs, cfg, &mut adversary, telemetry) {
             Ok(verdict) => Ok(Some((seed, verdict))),
             Err(SimError::MaxRoundsExceeded { .. }) => Ok(None),
             Err(other) => Err(other),
@@ -157,13 +194,24 @@ where
         incorrect: Vec::new(),
         timeouts: 0,
     };
-    // Fold in run order, not completion order, to keep seed-order outputs.
+    // Fold in run order, not completion order, to keep seed-order outputs
+    // (and deterministic batch histograms).
     for result in &results {
         match result {
-            Some((seed, verdict)) => record(&mut outcome, *seed, verdict),
+            Some((seed, verdict)) => {
+                record(&mut outcome, *seed, verdict);
+                telemetry.observe("batch.rounds", u64::from(verdict.rounds()));
+                telemetry.observe(
+                    "batch.kills",
+                    verdict.report().metrics().total_kills() as u64,
+                );
+            }
             None => outcome.timeouts += 1,
         }
     }
+    telemetry.incr("batch.runs", runs as u64);
+    telemetry.incr("batch.timeouts", outcome.timeouts as u64);
+    telemetry.incr("batch.violations", outcome.incorrect.len() as u64);
     Ok(outcome)
 }
 

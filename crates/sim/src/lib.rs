@@ -50,6 +50,7 @@
 //! | [`FaultBudget`] | engine-enforced `t` |
 //! | [`SimRng`] | deterministic splittable randomness |
 //! | [`Trace`], [`Metrics`], [`RunReport`] | observability |
+//! | [`telemetry`] | spans, counters/histograms, JSONL sinks |
 //! | [`testing`] | trivial processes for tests and docs |
 
 #![warn(missing_docs)]
@@ -68,6 +69,7 @@ pub mod parallel;
 mod process;
 mod report;
 mod rng;
+pub mod telemetry;
 pub mod testing;
 mod trace;
 mod world;
@@ -83,5 +85,8 @@ pub use metrics::Metrics;
 pub use process::{Context, Process};
 pub use report::RunReport;
 pub use rng::{SimRng, StreamPhase};
+pub use telemetry::{
+    JsonlSink, MemorySink, Telemetry, TelemetryEvent, TelemetryMode, TelemetrySink,
+};
 pub use trace::{Event, Trace};
 pub use world::{ProcessStatus, World};

@@ -49,6 +49,12 @@ impl Metrics {
 
     /// `(round, kills)` pairs for every round in which the adversary failed
     /// at least one process.
+    ///
+    /// Invariant: sorted by round, with exactly one entry per round —
+    /// repeated recordings for the same round merge into a single entry
+    /// ([`on_kills`](Metrics::on_kills) guarantees this), so consumers can
+    /// binary-search and reconstruct dense per-round arrays without
+    /// de-duplicating.
     #[must_use]
     pub fn kills_per_round(&self) -> &[(Round, usize)] {
         &self.kills_per_round
@@ -80,8 +86,19 @@ impl Metrics {
     }
 
     pub(crate) fn on_kills(&mut self, round: Round, count: usize) {
-        if count > 0 {
-            self.kills_per_round.push((round, count));
+        if count == 0 {
+            return;
+        }
+        // Keep the sorted/one-entry-per-round invariant whatever order
+        // rounds are reported in: merge duplicates, insert out-of-order
+        // rounds at their sorted position (the engine reports rounds in
+        // order, making this an O(1) append in practice).
+        match self
+            .kills_per_round
+            .binary_search_by_key(&round, |&(r, _)| r)
+        {
+            Ok(i) => self.kills_per_round[i].1 += count,
+            Err(i) => self.kills_per_round.insert(i, (round, count)),
         }
     }
 
@@ -121,6 +138,28 @@ mod tests {
         assert_eq!(m.kills_per_round().len(), 2);
         assert_eq!(m.messages_delivered(), 10);
         assert_eq!(m.messages_suppressed(), 4);
+    }
+
+    #[test]
+    fn kills_per_round_is_sorted_and_merged() {
+        let mut m = Metrics::new(8);
+        // Duplicate and out-of-order recordings must still produce a
+        // sorted, one-entry-per-round list.
+        m.on_kills(Round::new(3), 1);
+        m.on_kills(Round::new(1), 2);
+        m.on_kills(Round::new(3), 4);
+        m.on_kills(Round::new(2), 0); // ignored
+        m.on_kills(Round::new(2), 3);
+        m.on_kills(Round::new(1), 1);
+        assert_eq!(
+            m.kills_per_round(),
+            &[(Round::new(1), 3), (Round::new(2), 3), (Round::new(3), 5)]
+        );
+        assert!(
+            m.kills_per_round().windows(2).all(|w| w[0].0 < w[1].0),
+            "strictly increasing rounds"
+        );
+        assert_eq!(m.total_kills(), 11);
     }
 
     #[test]

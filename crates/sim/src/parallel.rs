@@ -24,7 +24,7 @@
 //! `std`. Chunking is by `ceil(total / threads)` so the split is itself a
 //! pure function of `(total, threads)`.
 
-use crate::{Adversary, Process, RunReport, SimError, World};
+use crate::{Adversary, Process, RunReport, SimError, Telemetry, World};
 
 /// Sentinel for "use all available parallelism" in thread-count knobs.
 pub const AUTO_THREADS: usize = 0;
@@ -62,8 +62,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_in(&Telemetry::off(), threads, total, f)
+}
+
+/// [`par_map`] with telemetry: the fan-out is wrapped in a
+/// `parallel.par_map` span, each worker thread records a
+/// `parallel.worker` span attributed to its worker index, and the
+/// `parallel.tasks` counter accumulates `total`.
+///
+/// Telemetry is observe-only — results are identical to [`par_map`] (and
+/// to the serial map) for every `telemetry` handle and thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map_in<T, F>(telemetry: &Telemetry, threads: usize, total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let _span = telemetry.span("parallel.par_map");
+    telemetry.incr("parallel.tasks", total as u64);
     let workers = resolve_threads(threads).min(total);
     if workers <= 1 {
+        let _worker = telemetry.worker_span("parallel.worker", 0);
         return (0..total).map(f).collect();
     }
     let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
@@ -72,7 +94,10 @@ where
         for (w, out) in slots.chunks_mut(chunk).enumerate() {
             let f = &f;
             let base = w * chunk;
+            let telemetry = telemetry.clone();
             scope.spawn(move || {
+                #[allow(clippy::cast_possible_truncation)]
+                let _worker = telemetry.worker_span("parallel.worker", w as u32);
                 for (offset, slot) in out.iter_mut().enumerate() {
                     *slot = Some(f(base + offset));
                 }
@@ -103,8 +128,27 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    try_par_map_in(&Telemetry::off(), threads, total, f)
+}
+
+/// [`try_par_map`] with telemetry, instrumented like [`par_map_in`].
+///
+/// # Errors
+///
+/// Returns the error produced at the smallest index for which `f` failed.
+pub fn try_par_map_in<T, E, F>(
+    telemetry: &Telemetry,
+    threads: usize,
+    total: usize,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
     let mut out = Vec::with_capacity(total);
-    for result in par_map(threads, total, f) {
+    for result in par_map_in(telemetry, threads, total, f) {
         out.push(result?);
     }
     Ok(out)
@@ -136,7 +180,9 @@ where
     E: Send,
     F: Fn(usize, World<P>) -> Result<T, E> + Sync,
 {
-    try_par_map(threads, seeds.len(), |i| {
+    // Worker attribution comes from the parent world's handle; the forks
+    // themselves are detached (see `World::fork`).
+    try_par_map_in(world.telemetry(), threads, seeds.len(), |i| {
         eval(i, world.fork_bounded(seeds[i], horizon))
     })
 }
@@ -207,6 +253,25 @@ mod tests {
         }
         let ok: Result<Vec<usize>, usize> = try_par_map(4, 5, Ok);
         assert_eq!(ok, Ok(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn par_map_in_is_observe_only_and_attributes_workers() {
+        use crate::telemetry::{Telemetry, TelemetryMode};
+        let serial: Vec<u64> = (0..40).map(|i| (i as u64) * 3).collect();
+        let telemetry = Telemetry::new(TelemetryMode::Spans);
+        let instrumented = par_map_in(&telemetry, 4, 40, |i| (i as u64) * 3);
+        assert_eq!(instrumented, serial);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("parallel.tasks"), Some(40));
+        let workers: Vec<u32> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "parallel.worker")
+            .filter_map(|s| s.worker)
+            .collect();
+        assert_eq!(workers.len(), 4, "one span per worker");
+        assert!(snap.spans.iter().any(|s| s.name == "parallel.par_map"));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The synchronous world: round engine, fault enforcement, and forking.
 
 use crate::{
-    trace::Event, Adversary, Bit, Context, DeliveryFilter, FaultBudget, Inbox, Intervention,
-    Metrics, Process, ProcessId, Round, RunReport, SendPattern, SimConfig, SimError, SimRng,
-    StreamPhase, Trace,
+    telemetry::per_round_kill_cap, trace::Event, Adversary, Bit, Context, DeliveryFilter,
+    FaultBudget, Inbox, Intervention, Metrics, Process, ProcessId, Round, RunReport, SendPattern,
+    SimConfig, SimError, SimRng, StreamPhase, Telemetry, Trace,
 };
 
 /// Lifecycle of a process within an execution.
@@ -140,6 +140,7 @@ pub struct World<P: Process> {
     budget: FaultBudget,
     metrics: Metrics,
     trace: Trace,
+    telemetry: Telemetry,
     seed: u64,
     scratch: RoundScratch<P::Msg>,
 }
@@ -162,6 +163,7 @@ where
             budget: self.budget,
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
+            telemetry: self.telemetry.clone(),
             seed: self.seed,
             scratch: RoundScratch::new(self.cfg.n()),
         }
@@ -198,6 +200,7 @@ impl<P: Process> World<P> {
             budget: FaultBudget::new(cfg.t()),
             metrics: Metrics::new(n),
             trace,
+            telemetry: Telemetry::off(),
             round: Round::FIRST,
             phase: Phase::BeforeSend,
             outboxes: (0..n).map(|_| None).collect(),
@@ -249,6 +252,22 @@ impl<P: Process> World<P> {
     #[must_use]
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The telemetry handle this world records into (off by default).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Attaches a telemetry handle; subsequent rounds record engine
+    /// counters (and, in span mode, phase timings) into it.
+    ///
+    /// Telemetry is **observe-only**: the execution — decisions, statuses,
+    /// metrics, trace, every coin — is byte-identical whatever handle (or
+    /// none) is attached. Forks made with [`World::fork`] detach it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Lifecycle status of `pid`.
@@ -344,6 +363,7 @@ impl<P: Process> World<P> {
                 phase: self.phase.name(),
             });
         }
+        let _span = self.telemetry.span("round.phase_a");
         let round = self.round;
         self.trace.record(|| Event::RoundStarted(round));
         let n = self.n();
@@ -381,6 +401,7 @@ impl<P: Process> World<P> {
                 phase: self.phase.name(),
             });
         }
+        let _span = self.telemetry.span("round.deliver");
         let round = self.round;
         let n = self.n();
 
@@ -548,6 +569,13 @@ impl<P: Process> World<P> {
         }
 
         self.metrics.on_round_completed();
+        let kill_count = kills.len() as u64;
+        self.telemetry.record_round(
+            kill_count,
+            delivered,
+            suppressed,
+            kill_count > per_round_kill_cap(n),
+        );
         self.trace.record(|| Event::RoundCompleted {
             round,
             messages_delivered: delivered,
@@ -586,6 +614,9 @@ impl<P: Process> World<P> {
     /// [`SimError::MaxRoundsExceeded`] if the execution outlives the
     /// configured limit.
     pub fn drive<A: Adversary<P>>(&mut self, adversary: &mut A) -> Result<(), SimError> {
+        // Guards own their hub handle, so holding one across `&mut self`
+        // calls is fine.
+        let _span = self.telemetry.span("world.drive");
         while !self.finished() {
             if self.round.index() > self.cfg.max_rounds_value() {
                 return Err(SimError::MaxRoundsExceeded {
@@ -595,7 +626,10 @@ impl<P: Process> World<P> {
             if self.phase == Phase::BeforeSend {
                 self.phase_a()?;
             }
-            let intervention = adversary.intervene(self);
+            let intervention = {
+                let _adv = self.telemetry.span("round.adversary");
+                adversary.intervene(self)
+            };
             self.deliver(intervention)?;
         }
         Ok(())
@@ -633,6 +667,7 @@ impl<P: Process> World<P> {
             if self.metrics.decided_at(pid).is_none() {
                 let round = self.round;
                 self.metrics.on_decided(pid, round, value);
+                self.telemetry.record_decision(round.index());
                 self.trace.record(|| Event::Decided { pid, round, value });
             }
         }
@@ -657,8 +692,11 @@ where
         let mut copy = self.clone();
         copy.seed = seed;
         // Forked futures are throwaway explorations; tracing them would
-        // dominate memory in valency estimation.
+        // dominate memory in valency estimation, and telemetry from
+        // thousands of probe forks would drown the parent's signal — the
+        // estimators count probe outcomes themselves instead.
         copy.trace = Trace::disabled();
+        copy.telemetry = Telemetry::off();
         copy
     }
 

@@ -20,4 +20,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier1: cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== tier1: telemetry smoke test =="
+# A spans-mode CLI run must produce a parseable JSONL file containing at
+# least one span and one counter event (the layer's end-to-end contract).
+telemetry_out="$(mktemp /tmp/synran-telemetry.XXXXXX.jsonl)"
+trap 'rm -f "$telemetry_out"' EXIT
+./target/release/synran run --protocol synran --n 16 --seed 7 \
+    --telemetry spans --telemetry-out "$telemetry_out" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$telemetry_out" <<'EOF'
+import json, sys
+events = [json.loads(line) for line in open(sys.argv[1])]
+kinds = {e["type"] for e in events}
+assert "span" in kinds, f"no span events in {kinds}"
+assert "counter" in kinds, f"no counter events in {kinds}"
+print(f"telemetry JSONL OK: {len(events)} events, kinds {sorted(kinds)}")
+EOF
+else
+    grep -q '"type":"span"' "$telemetry_out" || { echo "no span events"; exit 1; }
+    grep -q '"type":"counter"' "$telemetry_out" || { echo "no counter events"; exit 1; }
+    echo "telemetry JSONL OK: $(wc -l < "$telemetry_out") events (grep check)"
+fi
+
 echo "== tier1: OK =="

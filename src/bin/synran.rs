@@ -15,10 +15,13 @@ use synran::adversary::{
     RandomKiller, Storm,
 };
 use synran::core::{
-    check_consensus, run_batch, ConsensusProtocol, FloodingConsensus, InputAssignment,
+    check_consensus_with, run_batch_with, ConsensusProtocol, FloodingConsensus, InputAssignment,
     LeaderConsensus, SynRan,
 };
-use synran::sim::{Adversary, Bit, Passive, Process, SimConfig, SimRng};
+use synran::sim::{
+    Adversary, Bit, JsonlSink, Passive, Process, SimConfig, SimRng, Telemetry, TelemetryEvent,
+    TelemetryMode, TelemetrySink,
+};
 
 const USAGE: &str = "\
 synran — randomized synchronous consensus vs adaptive fail-stop adversaries
@@ -41,6 +44,11 @@ OPTIONS:
   --threads <int> worker threads for batches (0 = all cores, 1 = serial;
                  results are identical for every value)     (default 0)
   --trace        print the event trace (run only)
+  --telemetry off | counters | spans                        (default off;
+                 counters if --telemetry-out is given)
+  --telemetry-out <path>  write the run's telemetry as JSONL (one event per
+                 line). Telemetry is observe-only: results are identical
+                 with it on or off.
 
 Adversary/protocol compatibility: balancer, lower-bound, walker, kill-*
 attack the SynRan family; hunter attacks leader; the rest attack anything.";
@@ -76,6 +84,8 @@ struct Opts {
     runs: usize,
     threads: usize,
     trace: bool,
+    telemetry: TelemetryMode,
+    telemetry_out: Option<String>,
 }
 
 impl Opts {
@@ -90,6 +100,16 @@ impl Opts {
             .cloned()
             .unwrap_or_else(|| "synran".into());
         let n = get_usize("n", 32)?;
+        let telemetry_out = values.get("telemetry-out").cloned();
+        // An output path without an explicit mode means "record counters".
+        let default_mode = if telemetry_out.is_some() {
+            TelemetryMode::Counters
+        } else {
+            TelemetryMode::Off
+        };
+        let telemetry = values.get("telemetry").map_or(Ok(default_mode), |v| {
+            v.parse().map_err(|e| format!("--telemetry: {e}"))
+        })?;
         let default_t = if protocol == "leader" {
             (n.saturating_sub(1)) / 2
         } else {
@@ -109,6 +129,8 @@ impl Opts {
             runs: get_usize("runs", 20)?,
             threads: get_usize("threads", 0)?,
             trace: flags.iter().any(|f| f == "trace"),
+            telemetry,
+            telemetry_out,
             protocol,
             n,
         })
@@ -180,12 +202,23 @@ fn leader_adversary(
     generic_adversary(name, opts, seed)
 }
 
-fn run_once<P>(protocol: &P, opts: &Opts, mut adversary: BoxedAdv<P::Proc>) -> Result<(), String>
+fn run_once<P>(
+    protocol: &P,
+    opts: &Opts,
+    telemetry: &Telemetry,
+    mut adversary: BoxedAdv<P::Proc>,
+) -> Result<(), String>
 where
     P: ConsensusProtocol,
 {
-    let verdict = check_consensus(protocol, &opts.inputs(), opts.config(), &mut adversary)
-        .map_err(|e| e.to_string())?;
+    let verdict = check_consensus_with(
+        protocol,
+        &opts.inputs(),
+        opts.config(),
+        &mut adversary,
+        telemetry,
+    )
+    .map_err(|e| e.to_string())?;
     println!("protocol    : {}", protocol.name());
     println!("adversary   : {}", opts.adversary);
     println!("n / t / ones: {} / {} / {}", opts.n, opts.t, opts.ones);
@@ -213,7 +246,12 @@ where
     Ok(())
 }
 
-fn run_batch_cmd<P, F>(protocol: &P, opts: &Opts, make: F) -> Result<(), String>
+fn run_batch_cmd<P, F>(
+    protocol: &P,
+    opts: &Opts,
+    telemetry: &Telemetry,
+    make: F,
+) -> Result<(), String>
 where
     P: ConsensusProtocol + Sync,
     F: Fn(u64) -> Result<BoxedAdv<P::Proc>, String> + Sync,
@@ -221,12 +259,13 @@ where
     // Pre-validate the adversary name once.
     make(0)?;
     let assignment = InputAssignment::Split { ones: opts.ones };
-    let outcome = run_batch(
+    let outcome = run_batch_with(
         protocol,
         assignment,
         &opts.config(),
         opts.runs,
         opts.seed,
+        telemetry,
         |s| make(s).expect("validated above"),
     )
     .map_err(|e| e.to_string())?;
@@ -256,41 +295,87 @@ where
 
 fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
     let seed0 = SimRng::new(opts.seed).next_u64();
+    let telemetry = Telemetry::new(opts.telemetry);
     match (cmd, opts.protocol.as_str()) {
         ("run", "synran") => run_once(
             &SynRan::new(),
             opts,
+            &telemetry,
             synran_adversary(&opts.adversary, opts, seed0)?,
         ),
         ("run", "symmetric") => run_once(
             &SynRan::symmetric(),
             opts,
+            &telemetry,
             synran_adversary(&opts.adversary, opts, seed0)?,
         ),
         ("run", "flooding") => run_once(
             &FloodingConsensus::for_faults(opts.t),
             opts,
+            &telemetry,
             generic_adversary(&opts.adversary, opts, seed0)?,
         ),
         ("run", "leader") => run_once(
             &LeaderConsensus::for_faults(opts.t),
             opts,
+            &telemetry,
             leader_adversary(&opts.adversary, opts, seed0)?,
         ),
-        ("batch", "synran") => run_batch_cmd(&SynRan::new(), opts, |s| {
+        ("batch", "synran") => run_batch_cmd(&SynRan::new(), opts, &telemetry, |s| {
             synran_adversary(&opts.adversary, opts, s)
         }),
-        ("batch", "symmetric") => run_batch_cmd(&SynRan::symmetric(), opts, |s| {
+        ("batch", "symmetric") => run_batch_cmd(&SynRan::symmetric(), opts, &telemetry, |s| {
             synran_adversary(&opts.adversary, opts, s)
         }),
-        ("batch", "flooding") => run_batch_cmd(&FloodingConsensus::for_faults(opts.t), opts, |s| {
-            generic_adversary(&opts.adversary, opts, s)
-        }),
-        ("batch", "leader") => run_batch_cmd(&LeaderConsensus::for_faults(opts.t), opts, |s| {
-            leader_adversary(&opts.adversary, opts, s)
-        }),
-        (_, p) => Err(format!("unknown protocol {p:?} (see `synran list`)")),
+        ("batch", "flooding") => run_batch_cmd(
+            &FloodingConsensus::for_faults(opts.t),
+            opts,
+            &telemetry,
+            |s| generic_adversary(&opts.adversary, opts, s),
+        ),
+        ("batch", "leader") => run_batch_cmd(
+            &LeaderConsensus::for_faults(opts.t),
+            opts,
+            &telemetry,
+            |s| leader_adversary(&opts.adversary, opts, s),
+        ),
+        (_, p) => return Err(format!("unknown protocol {p:?} (see `synran list`)")),
+    }?;
+    if let Some(path) = &opts.telemetry_out {
+        write_telemetry(path, cmd, opts, &telemetry)?;
+        println!("telemetry   : {} ({})", path, opts.telemetry);
     }
+    Ok(())
+}
+
+/// Writes the run's telemetry as JSONL: meta attribution lines first, then
+/// the exported registry (counters, histograms, spans).
+fn write_telemetry(
+    path: &str,
+    cmd: &str,
+    opts: &Opts,
+    telemetry: &Telemetry,
+) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("--telemetry-out {path}: {e}"))?;
+    let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+    for (key, value) in [
+        ("command", cmd.to_string()),
+        ("protocol", opts.protocol.clone()),
+        ("adversary", opts.adversary.clone()),
+        ("n", opts.n.to_string()),
+        ("t", opts.t.to_string()),
+        ("seed", opts.seed.to_string()),
+        ("mode", opts.telemetry.to_string()),
+    ] {
+        sink.emit(&TelemetryEvent::Meta {
+            key: key.to_string(),
+            value,
+        });
+    }
+    telemetry.export(&mut sink);
+    sink.finish()
+        .map_err(|e| format!("--telemetry-out {path}: {e}"))?;
+    Ok(())
 }
 
 fn list() {
@@ -392,6 +477,24 @@ mod tests {
         assert_eq!(cfg.n(), 6);
         assert_eq!(cfg.t(), 3);
         assert!(cfg.trace_enabled());
+    }
+
+    #[test]
+    fn telemetry_options_parse() {
+        let o = opts_from(&["--n", "8"]).unwrap();
+        assert_eq!(o.telemetry, TelemetryMode::Off);
+        assert!(o.telemetry_out.is_none());
+        let o = opts_from(&["--telemetry", "spans"]).unwrap();
+        assert_eq!(o.telemetry, TelemetryMode::Spans);
+        // An output path alone implies counters.
+        let o = opts_from(&["--telemetry-out", "/tmp/t.jsonl"]).unwrap();
+        assert_eq!(o.telemetry, TelemetryMode::Counters);
+        assert_eq!(o.telemetry_out.as_deref(), Some("/tmp/t.jsonl"));
+        // An explicit mode wins over the implied default.
+        let o = opts_from(&["--telemetry", "off", "--telemetry-out", "x.jsonl"]).unwrap();
+        assert_eq!(o.telemetry, TelemetryMode::Off);
+        let err = opts_from(&["--telemetry", "verbose"]).unwrap_err();
+        assert!(err.contains("--telemetry"), "{err}");
     }
 
     #[test]

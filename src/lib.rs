@@ -58,11 +58,12 @@ pub mod prelude {
         PreferenceKiller, RandomKiller, Storm,
     };
     pub use synran_core::{
-        check_consensus, run_batch, ConsensusProtocol, FloodingConsensus, InputAssignment,
-        LeaderConsensus, LeaderProcess, SynRan,
+        check_consensus, check_consensus_with, run_batch, run_batch_with, ConsensusProtocol,
+        FloodingConsensus, InputAssignment, LeaderConsensus, LeaderProcess, SynRan,
     };
     pub use synran_sim::{
-        Adversary, Bit, Intervention, Passive, ProcessId, Round, SimConfig, SimError, SimRng, World,
+        Adversary, Bit, Intervention, Passive, ProcessId, Round, SimConfig, SimError, SimRng,
+        Telemetry, TelemetryMode, World,
     };
 }
 
