@@ -1,222 +1,31 @@
 //! E3 — Theorem 1: the adversary forces `Ω(t / √(n·log n))` rounds.
 //!
-//! Claim: a full-information adaptive fail-stop adversary spending at most
-//! `4√(n·log n) + 1` kills per round keeps the protocol in bivalent or
-//! null-valent states, forcing ~`t / (4√(n·log n)+1)` rounds w.h.p.
-//!
-//! The harness runs the valency-guided lower-bound adversary with the
-//! paper's per-round cap against SynRan (the strongest protocol in the
-//! workspace — by Theorem 2 no protocol does asymptotically better), and
-//! checks that forced rounds scale as `t/√(n·ln n)` with a stable
-//! constant, far above passive play. A second section shows the flip side
-//! (Lemma 4.6): a cap *below* the `√(n·log n)` threshold cannot stall at
-//! all — the two bounds pinch at the same per-round spend.
+//! Thin wrapper over the `synran-lab` E3 campaign preset: the bespoke
+//! sweep loop this binary used to carry lives in
+//! `synran_lab::presets::e3`, shared byte-for-byte with
+//! `synran campaign run campaigns/e3.campaign`. The wrapper only maps
+//! CLI knobs onto [`E3Params`] and picks the thread count.
 
-use synran_adversary::{find_adversarial_input, LowerBoundAdversary};
-use synran_analysis::{fmt_f64, lower_bound_rounds, ShapeFit, Summary, Table};
-use synran_bench::{banner, results_telemetry_path, section, write_telemetry_jsonl, Args};
-use synran_core::{check_consensus_with, per_round_kill_budget, SynRan};
-use synran_sim::{Passive, SimConfig, SimRng, Telemetry, TelemetryMode};
-
-#[derive(Debug, Clone, Copy)]
-enum Attack {
-    Passive,
-    LowerBound { cap: usize, samples: usize },
-}
-
-fn mean_rounds(
-    n: usize,
-    t: usize,
-    runs: usize,
-    seed: u64,
-    attack: Attack,
-    telemetry: &Telemetry,
-) -> (f64, f64, f64) {
-    let protocol = SynRan::new();
-    let inputs: Vec<synran_sim::Bit> = (0..n).map(|i| synran_sim::Bit::from(i < n / 2)).collect();
-    let mut rounds = Vec::new();
-    let mut kills = Vec::new();
-    for r in 0..runs {
-        let run_seed = SimRng::new(seed).derive(r as u64).next_u64();
-        let cfg = SimConfig::new(n)
-            .faults(t)
-            .seed(run_seed)
-            .max_rounds(100_000);
-        let verdict = match attack {
-            Attack::Passive => {
-                check_consensus_with(&protocol, &inputs, cfg, &mut Passive, telemetry)
-            }
-            Attack::LowerBound { cap, samples } => {
-                let horizon = 3 * (n as f64).sqrt() as u32 + 20;
-                let mut adv = LowerBoundAdversary::with_params(cap, samples, horizon, run_seed);
-                check_consensus_with(&protocol, &inputs, cfg, &mut adv, telemetry)
-            }
-        }
-        .expect("engine error");
-        assert!(
-            verdict.is_correct(),
-            "consensus violated at n={n} t={t}: {:?}",
-            verdict.violations()
-        );
-        rounds.push(verdict.rounds());
-        kills.push(verdict.report().metrics().total_kills() as u32);
-    }
-    let s = Summary::of_u32(&rounds);
-    let k = Summary::of_u32(&kills);
-    (s.mean(), s.ci95_halfwidth(), k.mean())
-}
+use synran_bench::Args;
+use synran_lab::presets::e3::{self, E3Params};
+use synran_lab::Engine;
+use synran_sim::{Telemetry, TelemetryMode};
 
 fn main() {
     let args = Args::from_env();
-    let runs = args.get_usize("runs", 8);
-    let samples = args.get_usize("samples", 3);
-    let seed = args.get_u64("seed", 3);
-    let sizes: Vec<usize> = if args.flag("fast") {
-        vec![16, 24]
-    } else {
-        vec![16, 24, 32, 48, 64]
+    let params = E3Params {
+        sizes: if args.flag("fast") {
+            vec![16, 24]
+        } else {
+            e3::DEFAULT_SIZES.to_vec()
+        },
+        runs: args.get_usize("runs", 8),
+        samples: args.get_usize("samples", 3),
+        seed: args.get_u64("seed", 3),
     };
-
-    banner(
-        "E3 the lower bound (Theorem 1)",
-        "an adaptive full-information adversary forces Ω(t/√(n·log n)) rounds",
+    let mut engine = Engine::new(
+        args.get_usize("threads", 0),
+        Telemetry::new(TelemetryMode::Counters),
     );
-    println!(
-        "valency-guided adversary, paper cap = ⌈4√(n·ln n)⌉ + 1 per round, {runs} runs/point, {samples} forks/probe"
-    );
-    // One counters-mode hub across the whole experiment; exported to
-    // results/e3_lower_bound.telemetry.jsonl at the end. Observe-only: the
-    // tables are identical with or without it.
-    let telemetry = Telemetry::new(TelemetryMode::Counters);
-
-    section("forced rounds vs the t/√(n·ln n) curve");
-    let mut table = Table::new([
-        "n",
-        "t",
-        "cap/round",
-        "passive",
-        "forced",
-        "±95%",
-        "kills used",
-        "t/√(n·ln n)",
-        "forced ÷ curve",
-    ]);
-    let mut measured = Vec::new();
-    let mut predicted = Vec::new();
-    for &n in &sizes {
-        let cap = per_round_kill_budget(n).ceil() as usize + 1;
-        for t in [n / 2, n - 1] {
-            let (passive_mean, _, _) =
-                mean_rounds(n, t, runs, seed ^ 0xAAAA, Attack::Passive, &telemetry);
-            let (forced_mean, ci, kills) = mean_rounds(
-                n,
-                t,
-                runs,
-                seed,
-                Attack::LowerBound { cap, samples },
-                &telemetry,
-            );
-            let curve = lower_bound_rounds(n, t);
-            measured.push(forced_mean);
-            predicted.push(curve);
-            table.row([
-                n.to_string(),
-                t.to_string(),
-                cap.to_string(),
-                fmt_f64(passive_mean, 1),
-                fmt_f64(forced_mean, 1),
-                fmt_f64(ci, 1),
-                fmt_f64(kills, 1),
-                fmt_f64(curve, 2),
-                fmt_f64(forced_mean / curve, 2),
-            ]);
-        }
-    }
-    print!("{table}");
-
-    let fit = ShapeFit::fit(&measured, &predicted);
-    println!(
-        "\nshape fit: forced ≈ {} · t/√(n·ln n), max relative residual {}",
-        fmt_f64(fit.scale(), 2),
-        fmt_f64(fit.max_rel_residual(), 2)
-    );
-    println!("expected: 'forced ÷ curve' roughly flat in n, and forced ≫ passive.");
-
-    section("Lemma 4.6's pinch: a sub-threshold cap cannot stall");
-    let mut pinch = Table::new(["n", "t", "cap/round", "forced rounds", "kills used"]);
-    for &n in &sizes[..sizes.len().min(2)] {
-        let t = n - 1;
-        let starved_cap = ((per_round_kill_budget(n) / 16.0).ceil() as usize).max(1);
-        let (forced, _, kills) = mean_rounds(
-            n,
-            t,
-            runs,
-            seed ^ 0xBBBB,
-            Attack::LowerBound {
-                cap: starved_cap,
-                samples,
-            },
-            &telemetry,
-        );
-        pinch.row([
-            n.to_string(),
-            t.to_string(),
-            starved_cap.to_string(),
-            fmt_f64(forced, 1),
-            fmt_f64(kills, 1),
-        ]);
-    }
-    print!("{pinch}");
-    println!("\nexpected: with cap ≪ √(n·ln n), forced rounds collapse to near-passive —");
-    println!("the same per-round spend threshold the upper bound's accounting charges.");
-
-    section("Lemma 3.5: adversarially chosen initial state");
-    let n = sizes[0];
-    let cfg = SimConfig::new(n).max_rounds(50_000);
-    let inputs = find_adversarial_input(&SynRan::new(), &cfg, 4, seed).expect("probe error");
-    let ones = inputs.iter().filter(|b| b.is_one()).count();
-    println!(
-        "n = {n}: passive-play flip point at {ones} ones — the non-univalent initial state the chain argument finds"
-    );
-
-    // Telemetry artifact: the experiment-wide counters plus per-round
-    // kill-budget accounting from one representative forced run.
-    let rep_n = *sizes.last().expect("sizes nonempty");
-    let rep_t = rep_n - 1;
-    let rep_cap = per_round_kill_budget(rep_n).ceil() as usize + 1;
-    let rep_seed = SimRng::new(seed).derive(0).next_u64();
-    let rep_inputs: Vec<synran_sim::Bit> = (0..rep_n)
-        .map(|i| synran_sim::Bit::from(i < rep_n / 2))
-        .collect();
-    let horizon = 3 * (rep_n as f64).sqrt() as u32 + 20;
-    let mut rep_adv = LowerBoundAdversary::with_params(rep_cap, samples, horizon, rep_seed);
-    let rep_verdict = check_consensus_with(
-        &SynRan::new(),
-        &rep_inputs,
-        SimConfig::new(rep_n)
-            .faults(rep_t)
-            .seed(rep_seed)
-            .max_rounds(100_000),
-        &mut rep_adv,
-        &telemetry,
-    )
-    .expect("engine error");
-    let path = results_telemetry_path("e3_lower_bound");
-    write_telemetry_jsonl(
-        &path,
-        &[
-            ("experiment", "e3_lower_bound".to_string()),
-            ("adversary", "lower-bound".to_string()),
-            ("n", rep_n.to_string()),
-            ("t", rep_t.to_string()),
-            ("cap_per_round", rep_cap.to_string()),
-            ("seed", seed.to_string()),
-            ("runs", runs.to_string()),
-        ],
-        &telemetry,
-        rep_verdict.report().metrics().kills_per_round(),
-        rep_n,
-    )
-    .expect("write telemetry jsonl");
-    println!("\ntelemetry: {}", path.display());
+    e3::run(&params, &mut engine, &mut std::io::stdout().lock()).expect("e3 failed");
 }

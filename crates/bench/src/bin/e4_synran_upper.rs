@@ -1,108 +1,25 @@
 //! E4 — Theorems 2 & 3: SynRan's expected round count is
 //! `O(t/√(n·log(2+t/√n)))` under **any** fail-stop adversary.
 //!
-//! The harness runs SynRan under the whole adversary suite (passive,
-//! random, storm, preference-targeting, the coin-band balancer) across a
-//! range of `n` with `t = n − 1`, and checks that even the worst
-//! adversary's mean rounds track the tight curve with a roughly flat
-//! ratio.
+//! Thin wrapper over the `synran-lab` E4 campaign preset (see
+//! `campaigns/e4.campaign` for the declarative form).
 
-use synran_adversary::{Balancer, PreferenceKiller, RandomKiller, Storm};
-use synran_analysis::{fmt_f64, tight_bound_rounds, ShapeFit, Table};
-use synran_bench::{banner, section, Args};
-use synran_core::{run_batch, InputAssignment, SynRan, SynRanProcess};
-use synran_sim::{Adversary, Bit, Passive, SimConfig};
-
-type Factory = Box<dyn Fn(u64) -> Box<dyn Adversary<SynRanProcess> + Send> + Sync>;
-
-fn adversaries(n: usize) -> Vec<(&'static str, Factory)> {
-    let rate = (n as f64).sqrt().ceil() as usize;
-    vec![
-        ("passive", Box::new(|_| Box::new(Passive))),
-        (
-            "random(√n)",
-            Box::new(move |s| Box::new(RandomKiller::new(rate, s))),
-        ),
-        ("storm", Box::new(|s| Box::new(Storm::new(s)))),
-        (
-            "kill-ones(√n)",
-            Box::new(move |_| Box::new(PreferenceKiller::new(Bit::One, rate))),
-        ),
-        ("balancer", Box::new(|_| Box::new(Balancer::unbounded()))),
-    ]
-}
+use synran_bench::Args;
+use synran_lab::presets::e4::{self, E4Params};
+use synran_lab::Engine;
+use synran_sim::Telemetry;
 
 fn main() {
     let args = Args::from_env();
-    let runs = args.get_usize("runs", 30);
-    let seed = args.get_u64("seed", 4);
-    let sizes: Vec<usize> = if args.flag("fast") {
-        vec![32, 64]
-    } else {
-        vec![32, 64, 128, 256, 512]
+    let params = E4Params {
+        sizes: if args.flag("fast") {
+            vec![32, 64]
+        } else {
+            e4::DEFAULT_SIZES.to_vec()
+        },
+        runs: args.get_usize("runs", 30),
+        seed: args.get_u64("seed", 4),
     };
-
-    banner(
-        "E4 SynRan upper bound (Theorems 2 & 3)",
-        "expected rounds = O(t/√(n·log(2+t/√n))) under ANY fail-stop adversary",
-    );
-    println!("t = n − 1 (maximum resilience), even-split inputs, {runs} runs/cell");
-
-    section("mean rounds by adversary");
-    let mut table = Table::new([
-        "n",
-        "adversary",
-        "mean rounds",
-        "max",
-        "kills used (mean)",
-        "bound curve",
-        "ratio",
-    ]);
-    let mut worst_measured = Vec::new();
-    let mut worst_predicted = Vec::new();
-    for &n in &sizes {
-        let t = n - 1;
-        let curve = tight_bound_rounds(n, t);
-        let mut worst = 0.0f64;
-        for (name, factory) in adversaries(n) {
-            let outcome = run_batch(
-                &SynRan::new(),
-                InputAssignment::even_split(n),
-                &SimConfig::new(n).faults(t).max_rounds(200_000),
-                runs,
-                seed ^ n as u64,
-                factory,
-            )
-            .expect("engine error");
-            assert!(
-                outcome.all_correct(),
-                "violations at n={n} under {name}: {:?}",
-                outcome.incorrect()
-            );
-            let mean = outcome.mean_rounds();
-            let kills_mean = outcome.kills().iter().map(|&k| k as f64).sum::<f64>()
-                / outcome.kills().len() as f64;
-            worst = worst.max(mean);
-            table.row([
-                n.to_string(),
-                name.to_string(),
-                fmt_f64(mean, 1),
-                outcome.max_rounds().map_or("-".into(), |m| m.to_string()),
-                fmt_f64(kills_mean, 1),
-                fmt_f64(curve, 2),
-                fmt_f64(mean / curve, 2),
-            ]);
-        }
-        worst_measured.push(worst);
-        worst_predicted.push(curve);
-    }
-    print!("{table}");
-
-    let fit = ShapeFit::fit(&worst_measured, &worst_predicted);
-    println!(
-        "\nworst-adversary shape fit: rounds ≈ {} · t/√(n·log(2+t/√n)), max rel residual {}",
-        fmt_f64(fit.scale(), 2),
-        fmt_f64(fit.max_rel_residual(), 2)
-    );
-    println!("expected: ratio column roughly flat in n for the worst adversary — the upper bound's shape.");
+    let mut engine = Engine::new(args.get_usize("threads", 0), Telemetry::off());
+    e4::run(&params, &mut engine, &mut std::io::stdout().lock()).expect("e4 failed");
 }

@@ -1,121 +1,25 @@
 //! E7 — Theorem 3 across the whole fault range: expected rounds
 //! `Θ(t/√(n·log(2+t/√n)))`, with an `O(1)` plateau for `t = O(√n)`.
 //!
-//! Fixed `n`, sweep `t` from 1 to `n − 1`, SynRan under its worst
-//! implemented adversary (the coin-band balancer). The measured series
-//! should scale with the tight curve and flatten below `t ≈ √n`.
+//! Thin wrapper over the `synran-lab` E7 campaign preset (see
+//! `campaigns/e7.campaign` for the declarative form).
 
-use synran_adversary::Balancer;
-use synran_analysis::{fmt_f64, tight_bound_rounds, AsciiPlot, ShapeFit, Summary, Table};
-use synran_bench::{banner, section, Args};
-use synran_core::{run_batch, InputAssignment, SynRan};
-use synran_sim::SimConfig;
-
-fn sweep(n: usize, runs: usize, seed: u64) -> Vec<(usize, f64, f64)> {
-    let mut t_values = vec![1usize, 2, 4];
-    let mut t = 8;
-    while t < n {
-        t_values.push(t);
-        t *= 2;
-    }
-    t_values.push(n - 1);
-    t_values.dedup();
-
-    let mut out = Vec::new();
-    for t in t_values {
-        let outcome = run_batch(
-            &SynRan::new(),
-            InputAssignment::even_split(n),
-            &SimConfig::new(n).faults(t).max_rounds(200_000),
-            runs,
-            seed ^ t as u64,
-            |_| Balancer::unbounded(),
-        )
-        .expect("engine error");
-        assert!(
-            outcome.all_correct(),
-            "violations at n={n} t={t}: {:?}",
-            outcome.incorrect()
-        );
-        let s = Summary::of_u32(outcome.rounds());
-        out.push((t, s.mean(), s.ci95_halfwidth()));
-    }
-    out
-}
+use synran_bench::Args;
+use synran_lab::presets::e7::{self, E7Params};
+use synran_lab::Engine;
+use synran_sim::Telemetry;
 
 fn main() {
     let args = Args::from_env();
-    let runs = args.get_usize("runs", 40);
-    let seed = args.get_u64("seed", 7);
-    let sizes: Vec<usize> = if args.flag("fast") {
-        vec![256]
-    } else {
-        vec![256, 1024]
+    let params = E7Params {
+        sizes: if args.flag("fast") {
+            vec![256]
+        } else {
+            e7::DEFAULT_SIZES.to_vec()
+        },
+        runs: args.get_usize("runs", 40),
+        seed: args.get_u64("seed", 7),
     };
-
-    banner(
-        "E7 full fault-range sweep (Theorem 3)",
-        "expected rounds = Θ(t/√(n·log(2+t/√n))); O(1) plateau for t = O(√n)",
-    );
-    println!("SynRan vs the coin-band balancer, even-split inputs, {runs} runs/point");
-
-    for &n in &sizes {
-        let sqrt_n = (n as f64).sqrt().round() as usize;
-        section(&format!("n = {n} (√n = {sqrt_n})"));
-        let series = sweep(n, runs, seed);
-        let mut table = Table::new(["t", "mean rounds", "±95%", "curve", "ratio"]);
-        let mut plateau: Vec<f64> = Vec::new();
-        let mut measured = Vec::new();
-        let mut predicted = Vec::new();
-        for &(t, mean, ci) in &series {
-            // The protocol has a 2-round floor (decide + stop), so compare
-            // against curve + 2 to keep small-t ratios meaningful.
-            let curve = tight_bound_rounds(n, t) + 2.0;
-            table.row([
-                t.to_string(),
-                fmt_f64(mean, 1),
-                fmt_f64(ci, 1),
-                fmt_f64(curve, 1),
-                fmt_f64(mean / curve, 2),
-            ]);
-            if t <= sqrt_n {
-                plateau.push(mean);
-            } else {
-                measured.push(mean);
-                predicted.push(curve);
-            }
-        }
-        print!("{table}");
-        let mut plot = AsciiPlot::new(56, 12).log_x();
-        plot.series(
-            'm',
-            &series
-                .iter()
-                .map(|&(t, mean, _)| (t as f64, mean))
-                .collect::<Vec<_>>(),
-        );
-        plot.series(
-            'c',
-            &series
-                .iter()
-                .map(|&(t, _, _)| (t as f64, tight_bound_rounds(n, t) + 2.0))
-                .collect::<Vec<_>>(),
-        );
-        println!("\nmeasured (m) vs curve (c), rounds over t:");
-        print!("{}", plot.render());
-        let plateau_span = plateau.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
-            - plateau.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-        println!(
-            "\nplateau (t ≤ √n): means span {} rounds — the O(1) regime",
-            fmt_f64(plateau_span, 1)
-        );
-        if measured.len() >= 2 {
-            let fit = ShapeFit::fit(&measured, &predicted);
-            println!(
-                "growth regime (t > √n): rounds ≈ {} · curve, max rel residual {}",
-                fmt_f64(fit.scale(), 2),
-                fmt_f64(fit.max_rel_residual(), 2)
-            );
-        }
-    }
+    let mut engine = Engine::new(args.get_usize("threads", 0), Telemetry::off());
+    e7::run(&params, &mut engine, &mut std::io::stdout().lock()).expect("e7 failed");
 }

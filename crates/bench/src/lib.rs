@@ -5,30 +5,36 @@
 //! in `benches/perf.rs` guarding the simulator's speed. This library holds
 //! the tiny bits they share: a no-dependency `--key value` argument parser,
 //! output helpers, and the [`harness`] timing loop the benches run on.
+//! The telemetry-artifact helpers live in [`synran_lab::artifact`] (the
+//! campaign presets need them below this crate) and are re-exported here
+//! so the binaries keep one import path.
 //!
 //! Run an experiment with, e.g.:
 //!
 //! ```text
 //! cargo run --release -p synran-bench --bin e4_synran_upper -- --runs 50
 //! ```
+//!
+//! E3, E4, and E7 are thin wrappers over the campaign presets in
+//! `synran-lab` — the same tables are reproducible from the specs in
+//! `campaigns/` via `synran campaign run`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
-use std::io::{BufWriter, Write as _};
-use std::path::{Path, PathBuf};
 
-use synran_sim::telemetry::per_round_kill_cap;
-use synran_sim::{JsonlSink, Round, Telemetry, TelemetryEvent, TelemetrySink};
+pub use synran_lab::artifact::{results_telemetry_path, write_telemetry_jsonl};
 
 pub mod harness;
 
 /// A minimal `--key value` command-line parser (plus bare `--flag`s).
 ///
 /// The experiment binaries take a handful of numeric knobs; this avoids a
-/// CLI dependency.
+/// CLI dependency. Values may be negative (`--bias -1`): anything that is
+/// not itself a `--key` counts as the preceding key's value. A key given
+/// twice keeps the last value.
 ///
 /// # Examples
 ///
@@ -104,6 +110,22 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// An `i64` knob with a default (negative values welcome: `--bias -2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value does not parse.
+    #[must_use]
+    pub fn get_i64(&self, key: &str, default: i64) -> i64 {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
     /// An `f64` knob with a default.
     ///
     /// # Panics
@@ -120,62 +142,17 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// The raw string value of a knob, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     /// Whether a bare `--flag` was passed.
     #[must_use]
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
-}
-
-/// The conventional telemetry JSONL path for an experiment binary:
-/// `results/<bin>.telemetry.jsonl` (next to the experiment's `.txt`
-/// results, per EXPERIMENTS.md).
-#[must_use]
-pub fn results_telemetry_path(bin: &str) -> PathBuf {
-    Path::new("results").join(format!("{bin}.telemetry.jsonl"))
-}
-
-/// Writes an experiment's telemetry as JSONL: `meta` attribution lines,
-/// the exported registry (counters → histograms → spans), then one
-/// `round_kills` line per entry of `kills_per_round` scored against the
-/// paper's `4√(n·ln n)+1` per-round cap for system size `n`.
-///
-/// `kills_per_round` is [`synran_sim::Metrics::kills_per_round`] output
-/// from a representative run — sorted, one entry per round.
-///
-/// # Errors
-///
-/// Returns any I/O error from creating or writing the file (the parent
-/// directory is created if missing).
-pub fn write_telemetry_jsonl(
-    path: &Path,
-    meta: &[(&str, String)],
-    telemetry: &Telemetry,
-    kills_per_round: &[(Round, usize)],
-    n: usize,
-) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut sink = JsonlSink::new(BufWriter::new(std::fs::File::create(path)?));
-    for (key, value) in meta {
-        sink.emit(&TelemetryEvent::Meta {
-            key: (*key).to_string(),
-            value: value.clone(),
-        });
-    }
-    telemetry.export(&mut sink);
-    let cap = per_round_kill_cap(n);
-    for &(round, kills) in kills_per_round {
-        let kills = kills as u64;
-        sink.emit(&TelemetryEvent::RoundKills {
-            round: round.index(),
-            kills,
-            cap,
-            over_cap: kills > cap,
-        });
-    }
-    sink.finish()?.flush()
 }
 
 /// Prints an experiment banner with its DESIGN.md id and the claim under
@@ -210,6 +187,8 @@ mod tests {
         let a = Args::parse(std::iter::empty());
         assert_eq!(a.get_usize("n", 42), 42);
         assert_eq!(a.get_f64("x", 1.5), 1.5);
+        assert_eq!(a.get_i64("bias", -7), -7);
+        assert_eq!(a.get("anything"), None);
     }
 
     #[test]
@@ -220,9 +199,45 @@ mod tests {
     }
 
     #[test]
+    fn negative_values_are_values_not_flags() {
+        let a = Args::parse(["--bias", "-3", "--scale", "-0.5", "--fast"].map(String::from));
+        assert_eq!(a.get_i64("bias", 0), -3);
+        assert!((a.get_f64("scale", 0.0) - -0.5).abs() < f64::EPSILON);
+        assert!(a.flag("fast"));
+        assert!(!a.flag("bias"), "-3 consumed as a value, not a flag");
+    }
+
+    #[test]
+    fn repeated_keys_last_wins() {
+        let a = Args::parse(["--runs", "5", "--runs", "9"].map(String::from));
+        assert_eq!(a.get_usize("runs", 0), 9);
+    }
+
+    #[test]
+    fn trailing_bare_flag_with_no_value_is_a_flag() {
+        let a = Args::parse(["--fast"].map(String::from));
+        assert!(a.flag("fast"));
+        assert_eq!(a.get("fast"), None, "no value attached");
+    }
+
+    #[test]
+    fn flag_followed_by_key_stays_a_flag() {
+        let a = Args::parse(["--fast", "--runs", "3"].map(String::from));
+        assert!(a.flag("fast"));
+        assert_eq!(a.get_usize("runs", 0), 3);
+    }
+
+    #[test]
     #[should_panic(expected = "expects an integer")]
     fn bad_integer_panics() {
         let a = Args::parse(["--n", "abc"].map(String::from));
         let _ = a.get_usize("n", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_i64_panics() {
+        let a = Args::parse(["--bias", "1.5"].map(String::from));
+        let _ = a.get_i64("bias", 0);
     }
 }

@@ -1,0 +1,237 @@
+//! The sharded campaign scheduler.
+//!
+//! [`Engine::run_cells`] partitions a campaign's cell list across worker
+//! threads via [`synran_sim::parallel`] and folds the results **in cell
+//! order**, so the merged output is byte-identical at every thread count —
+//! the same contract the fork-evaluation engine and the batch runner keep.
+//!
+//! Execution proceeds in *waves* of `threads × 4` cells: each wave is
+//! evaluated in parallel, then appended to the journal in cell order
+//! before the next wave starts. A killed campaign therefore loses at most
+//! one in-flight wave, and the journal's line order is itself a pure
+//! function of the cell list (never of scheduling).
+//!
+//! Cells already present in the cache — from this campaign's journal, or
+//! imported from another's — are skipped and their recorded results
+//! spliced into the fold.
+
+use std::path::Path;
+
+use synran_sim::{parallel, Telemetry};
+
+use crate::cell::{Cell, CellResult};
+use crate::journal::{load_cache, CellCache, Journal};
+use crate::registry::run_cell;
+use crate::LabError;
+
+/// The sharded, cache-aware campaign executor.
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    telemetry: Telemetry,
+    cache: CellCache,
+    journal: Option<Journal>,
+    executed: usize,
+    cache_hits: usize,
+}
+
+impl Engine {
+    /// An engine with `threads` workers (0 = all cores) recording into
+    /// `telemetry`, with an empty cache and no journal.
+    #[must_use]
+    pub fn new(threads: usize, telemetry: Telemetry) -> Engine {
+        Engine {
+            threads,
+            telemetry,
+            cache: CellCache::new(),
+            journal: None,
+            executed: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Attaches an open journal and merges the entries it already holds
+    /// into the cache (the resume path).
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal, cache: CellCache) -> Engine {
+        self.journal = Some(journal);
+        self.cache.extend(cache);
+        self
+    }
+
+    /// Imports another campaign's journal read-only for cross-campaign
+    /// dedup. Returns the number of entries merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if `path` exists but cannot be read.
+    pub fn import_cache(&mut self, path: &Path) -> Result<usize, LabError> {
+        let imported = load_cache(path)?;
+        let count = imported.len();
+        self.cache.extend(imported);
+        Ok(count)
+    }
+
+    /// The telemetry handle every cell execution records into.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Cells actually executed so far (cache misses).
+    #[must_use]
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// Cells answered from the cache so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Runs a campaign's cell list and returns its results in cell order.
+    ///
+    /// Cached cells are skipped; fresh cells execute on the worker pool in
+    /// waves and are journaled (in cell order) as each wave completes.
+    /// Duplicate cells within the list execute once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell's error **by cell order** (the
+    /// deterministic-error contract of
+    /// [`try_par_map`](synran_sim::parallel::try_par_map)), or an I/O
+    /// error from the journal.
+    pub fn run_cells(&mut self, cells: &[Cell]) -> Result<Vec<CellResult>, LabError> {
+        let hashes: Vec<String> = cells.iter().map(Cell::content_hash).collect();
+        let mut results: Vec<Option<CellResult>> =
+            hashes.iter().map(|h| self.cache.get(h).cloned()).collect();
+        self.cache_hits += results.iter().filter(|r| r.is_some()).count();
+
+        // First index per distinct pending hash, in cell order (duplicates
+        // within the list run once and share the result).
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, result) in results.iter().enumerate() {
+            if result.is_none() && !pending.iter().any(|&p| hashes[p] == hashes[i]) {
+                pending.push(i);
+            }
+        }
+
+        let workers = parallel::resolve_threads(self.threads).max(1);
+        for wave in pending.chunks(workers * 4) {
+            let outs = parallel::try_par_map_in(&self.telemetry, self.threads, wave.len(), |k| {
+                run_cell(&cells[wave[k]], &self.telemetry)
+            })?;
+            for (&i, result) in wave.iter().zip(outs) {
+                if let Some(journal) = &mut self.journal {
+                    journal.append(&cells[i], &result)?;
+                }
+                self.cache.insert(hashes[i].clone(), result);
+                self.executed += 1;
+            }
+            // Splice the wave (and any in-list duplicates) from the cache.
+            for (i, slot) in results.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = self.cache.get(&hashes[i]).cloned();
+                }
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every cell executed or cached"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("synran-lab-engine-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn grid() -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for n in [8usize, 10, 12] {
+            for seed in [1u64, 2] {
+                let mut cell = Cell::new("synran", "balancer", n);
+                cell.runs = 3;
+                cell.seed = seed;
+                cell.max_rounds = 100_000;
+                cells.push(cell);
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn results_are_identical_at_every_thread_count() {
+        let cells = grid();
+        let baseline = Engine::new(1, Telemetry::off()).run_cells(&cells).unwrap();
+        for threads in [2, 4, 8] {
+            let results = Engine::new(threads, Telemetry::off())
+                .run_cells(&cells)
+                .unwrap();
+            assert_eq!(results, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cache_short_circuits_and_duplicates_run_once() {
+        let mut cells = grid();
+        cells.push(cells[0].clone()); // in-list duplicate
+        let mut engine = Engine::new(2, Telemetry::off());
+        let first = engine.run_cells(&cells).unwrap();
+        assert_eq!(engine.executed(), cells.len() - 1, "duplicate ran once");
+        assert_eq!(first[0], *first.last().unwrap());
+
+        let again = engine.run_cells(&cells).unwrap();
+        assert_eq!(again, first);
+        assert_eq!(engine.executed(), cells.len() - 1, "all cached on rerun");
+        assert_eq!(engine.cache_hits(), cells.len());
+    }
+
+    #[test]
+    fn journal_backs_the_cache_across_engines() {
+        let path = tmpdir("cache").join("demo.journal.jsonl");
+        let cells = grid();
+        let (journal, cache) = Journal::open(&path).unwrap();
+        let mut engine = Engine::new(1, Telemetry::off()).with_journal(journal, cache);
+        let baseline = engine.run_cells(&cells).unwrap();
+        assert_eq!(engine.executed(), cells.len());
+        drop(engine);
+
+        let (journal, cache) = Journal::open(&path).unwrap();
+        let mut resumed = Engine::new(4, Telemetry::off()).with_journal(journal, cache);
+        let results = resumed.run_cells(&cells).unwrap();
+        assert_eq!(results, baseline);
+        assert_eq!(resumed.executed(), 0, "fully warm journal");
+
+        // Cross-campaign dedup: a different engine imports the journal.
+        let mut importer = Engine::new(1, Telemetry::off());
+        assert_eq!(importer.import_cache(&path).unwrap(), cells.len());
+        importer.run_cells(&cells[..2]).unwrap();
+        assert_eq!(importer.executed(), 0);
+    }
+
+    #[test]
+    fn error_is_deterministic_by_cell_order() {
+        let mut cells = grid();
+        cells[1].protocol = "bogus".into();
+        cells[4].protocol = "bogus".into();
+        for threads in [1, 4] {
+            let err = Engine::new(threads, Telemetry::off())
+                .run_cells(&cells)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("bogus"),
+                "threads {threads}: {err}"
+            );
+        }
+    }
+}

@@ -42,4 +42,37 @@ else
     echo "telemetry JSONL OK: $(wc -l < "$telemetry_out") events (grep check)"
 fi
 
+echo "== tier1: campaign smoke test =="
+# End-to-end contract of the campaign engine: run a small grid campaign,
+# simulate a crash by truncating the journal mid-file, resume at a
+# different thread count, and require byte-identical rendered output.
+campaign_dir="$(mktemp -d /tmp/synran-campaign.XXXXXX)"
+trap 'rm -f "$telemetry_out"; rm -rf "$campaign_dir"' EXIT
+cat > "$campaign_dir/smoke.campaign" <<'EOF'
+campaign  = smoke
+adversary = balancer
+runs      = 3
+seed      = 5
+sweep n   = 8,10
+sweep t   = half,max
+EOF
+(cd "$campaign_dir" && "$OLDPWD/target/release/synran" campaign run smoke.campaign \
+    --threads 1 > serial.txt 2>/dev/null)
+journal="$campaign_dir/results/smoke.journal.jsonl"
+[ -s "$journal" ] || { echo "campaign journal missing"; exit 1; }
+# Keep the header plus two cell lines, cutting the last kept line in half
+# (a kill mid-append), then resume on all cores.
+head -n 3 "$journal" | head -c -40 > "$journal.cut" && mv "$journal.cut" "$journal"
+(cd "$campaign_dir" && "$OLDPWD/target/release/synran" campaign resume smoke.campaign \
+    --threads 0 > resumed.txt 2>/dev/null)
+diff "$campaign_dir/serial.txt" "$campaign_dir/resumed.txt" \
+    || { echo "resumed campaign output diverged"; exit 1; }
+# Capture status rather than piping it: grep -q closes the pipe early,
+# which under pipefail turns the writer's SIGPIPE into a failure.
+status_out="$("./target/release/synran" campaign status "$campaign_dir/smoke.campaign" \
+    --results-dir "$campaign_dir/results")"
+grep -q "0 pending" <<< "$status_out" \
+    || { echo "campaign status shows pending cells after resume"; exit 1; }
+echo "campaign resume OK: serial and resumed output byte-identical"
+
 echo "== tier1: OK =="

@@ -4,10 +4,12 @@
 //! ```text
 //! synran run   --protocol synran --adversary balancer --n 64 --t 63 --seed 7
 //! synran batch --protocol leader --adversary oblivious --n 65 --t 32 --runs 25
+//! synran campaign run campaigns/e3.campaign
 //! synran list
 //! ```
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 use synran::adversary::{
@@ -18,6 +20,7 @@ use synran::core::{
     check_consensus_with, run_batch_with, ConsensusProtocol, FloodingConsensus, InputAssignment,
     LeaderConsensus, SynRan,
 };
+use synran::lab::{load_cache, presets, CampaignSpec, CellCache, Engine, Journal};
 use synran::sim::{
     Adversary, Bit, JsonlSink, Passive, Process, SimConfig, SimRng, Telemetry, TelemetryEvent,
     TelemetryMode, TelemetrySink,
@@ -30,7 +33,21 @@ synran — randomized synchronous consensus vs adaptive fail-stop adversaries
 USAGE:
   synran run   [OPTIONS]    run one execution and print its verdict
   synran batch [OPTIONS]    run many seeded executions and print statistics
+  synran campaign run <spec>     run a declarative campaign (journalled,
+                 resumable; cached cells are skipped automatically)
+  synran campaign resume <spec>  alias of run — resuming is the default
+  synran campaign status <spec>  show cached vs pending cells, no execution
+  synran campaign list           list the specs under campaigns/
   synran list               list protocols, adversaries, and experiments
+
+CAMPAIGN OPTIONS:
+  --threads <int>      worker threads (0 = all cores; results identical
+                       for every value)                      (default 0)
+  --results-dir <dir>  journal directory                     (default results)
+  --fresh              truncate the journal first (campaign run only)
+  --import <path>      merge another campaign's journal as a read-only
+                       result cache (cross-campaign dedup)
+  --dir <dir>          directory scanned by campaign list    (default campaigns)
 
 OPTIONS:
   --protocol  synran | symmetric | flooding | leader        (default synran)
@@ -53,8 +70,12 @@ OPTIONS:
 Adversary/protocol compatibility: balancer, lower-bound, walker, kill-*
 attack the SynRan family; hunter attacks leader; the rest attack anything.";
 
-fn parse(args: &[String]) -> (Option<String>, HashMap<String, String>, Vec<String>) {
-    let mut cmd = None;
+type Parsed = (Vec<String>, HashMap<String, String>, Vec<String>);
+
+/// Splits an argument list into positionals (command words, spec paths),
+/// `--key value` pairs, and bare `--flag`s.
+fn parse(args: &[String]) -> Parsed {
+    let mut positionals = Vec::new();
     let mut values = HashMap::new();
     let mut flags = Vec::new();
     let mut it = args.iter().peekable();
@@ -66,11 +87,11 @@ fn parse(args: &[String]) -> (Option<String>, HashMap<String, String>, Vec<Strin
                 }
                 _ => flags.push(key.to_string()),
             }
-        } else if cmd.is_none() {
-            cmd = Some(a.clone());
+        } else {
+            positionals.push(a.clone());
         }
     }
-    (cmd, values, flags)
+    (positionals, values, flags)
 }
 
 #[derive(Debug)]
@@ -378,6 +399,160 @@ fn write_telemetry(
     Ok(())
 }
 
+/// `synran campaign <run|resume|status|list>` — the declarative campaign
+/// engine (`synran::lab`). Rendered tables go to stdout; engine
+/// bookkeeping (cache hits, journal paths) goes to stderr so campaign
+/// output stays byte-identical to the experiment binaries'.
+fn campaign_cmd(
+    rest: &[String],
+    values: &HashMap<String, String>,
+    flags: &[String],
+) -> Result<(), String> {
+    let spec_path = rest.get(1).map(String::as_str);
+    match rest.first().map(String::as_str) {
+        Some(sub @ ("run" | "resume")) => campaign_run(spec_path, values, flags, sub == "run"),
+        Some("status") => campaign_status(spec_path, values),
+        Some("list") => campaign_list(values),
+        Some(other) => Err(format!(
+            "unknown campaign command {other:?} (run, resume, status, list)"
+        )),
+        None => Err("campaign expects a command: run, resume, status, or list".into()),
+    }
+}
+
+fn journal_path(values: &HashMap<String, String>, campaign: &str) -> std::path::PathBuf {
+    let dir = values.get("results-dir").map_or("results", String::as_str);
+    Path::new(dir).join(format!("{campaign}.journal.jsonl"))
+}
+
+fn campaign_run(
+    spec_path: Option<&str>,
+    values: &HashMap<String, String>,
+    flags: &[String],
+    allow_fresh: bool,
+) -> Result<(), String> {
+    let path = spec_path.ok_or("campaign run expects a spec path (e.g. campaigns/e3.campaign)")?;
+    let spec = CampaignSpec::parse_file(Path::new(path)).map_err(|e| e.to_string())?;
+    let cells = presets::campaign_cells(&spec).map_err(|e| e.to_string())?;
+    let journal_path = journal_path(values, spec.name());
+    let fresh = flags.iter().any(|f| f == "fresh");
+    if fresh && !allow_fresh {
+        return Err("--fresh discards the journal; use `campaign run --fresh`".into());
+    }
+    let (mut journal, cache) = if fresh {
+        let journal = Journal::create_fresh(&journal_path).map_err(|e| e.to_string())?;
+        (journal, CellCache::new())
+    } else {
+        Journal::open(&journal_path).map_err(|e| e.to_string())?
+    };
+    journal
+        .append_header(spec.name(), cells.len(), &spec.content_hash())
+        .map_err(|e| e.to_string())?;
+    let threads = values.get("threads").map_or(Ok(0), |v| {
+        v.parse()
+            .map_err(|_| format!("--threads: not an integer: {v}"))
+    })?;
+    let telemetry = Telemetry::new(spec.telemetry_mode().map_err(|e| e.to_string())?);
+    let warm = cache.len();
+    let mut engine = Engine::new(threads, telemetry).with_journal(journal, cache);
+    if let Some(import) = values.get("import") {
+        let merged = engine
+            .import_cache(Path::new(import))
+            .map_err(|e| e.to_string())?;
+        eprintln!("imported {merged} cached cells from {import}");
+    }
+    if warm > 0 {
+        eprintln!(
+            "resuming campaign {}: {warm} journalled cells already cached",
+            spec.name()
+        );
+    }
+    presets::run_campaign(&spec, &mut engine, &mut std::io::stdout().lock())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "campaign {}: {} cells executed, {} cache hits → {}",
+        spec.name(),
+        engine.executed(),
+        engine.cache_hits(),
+        journal_path.display()
+    );
+    Ok(())
+}
+
+fn campaign_status(
+    spec_path: Option<&str>,
+    values: &HashMap<String, String>,
+) -> Result<(), String> {
+    let path = spec_path.ok_or("campaign status expects a spec path")?;
+    let spec = CampaignSpec::parse_file(Path::new(path)).map_err(|e| e.to_string())?;
+    let cells = presets::campaign_cells(&spec).map_err(|e| e.to_string())?;
+    let journal_path = journal_path(values, spec.name());
+    let cache = load_cache(&journal_path).map_err(|e| e.to_string())?;
+    let cached = cells
+        .iter()
+        .filter(|c| cache.contains_key(&c.content_hash()))
+        .count();
+    println!("campaign   : {}", spec.name());
+    println!("experiment : {}", spec.experiment());
+    println!("spec hash  : {}", spec.content_hash());
+    println!(
+        "cells      : {} total, {cached} cached, {} pending",
+        cells.len(),
+        cells.len() - cached
+    );
+    println!(
+        "journal    : {} ({} entries)",
+        journal_path.display(),
+        cache.len()
+    );
+    Ok(())
+}
+
+fn campaign_list(values: &HashMap<String, String>) -> Result<(), String> {
+    let dir = values.get("dir").map_or("campaigns", String::as_str);
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("no campaign directory at {dir}/");
+            return Ok(());
+        }
+        Err(e) => return Err(format!("{dir}: {e}")),
+    };
+    let mut specs: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "campaign"))
+        .collect();
+    specs.sort();
+    if specs.is_empty() {
+        println!("no .campaign specs under {dir}/");
+        return Ok(());
+    }
+    for path in specs {
+        match CampaignSpec::parse_file(&path)
+            .and_then(|spec| Ok((presets::campaign_cells(&spec)?, spec)))
+        {
+            Ok((cells, spec)) => {
+                let cache =
+                    load_cache(&journal_path(values, spec.name())).map_err(|e| e.to_string())?;
+                let cached = cells
+                    .iter()
+                    .filter(|c| cache.contains_key(&c.content_hash()))
+                    .count();
+                println!(
+                    "{:<16} {:<6} {:>4} cells ({cached} cached)  {}",
+                    spec.name(),
+                    spec.experiment(),
+                    cells.len(),
+                    path.display()
+                );
+            }
+            Err(e) => println!("{:<16} INVALID: {e}", path.display()),
+        }
+    }
+    Ok(())
+}
+
 fn list() {
     println!("protocols : synran (the paper's §4 protocol, any t < n)");
     println!("            symmetric (SynRan minus the one-sided coin rule — E5's ablation)");
@@ -393,18 +568,30 @@ fn list() {
     println!("            e4_synran_upper e5_protocol_comparison e6_large_deviation");
     println!("            e7_t_sweep e8_budget_ablation e9_adaptivity e10_threshold_ablation");
     println!("            → cargo run --release -p synran-bench --bin <name>");
+    println!();
+    println!("campaigns : declarative sweeps under campaigns/ (E3, E4, E7 shipped)");
+    println!("            → synran campaign run campaigns/e3.campaign");
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, values, flags) = parse(&args);
-    let Some(cmd) = cmd else {
+    let (positionals, values, flags) = parse(&args);
+    let Some(cmd) = positionals.first().cloned() else {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     };
     if cmd == "list" {
         list();
         return ExitCode::SUCCESS;
+    }
+    if cmd == "campaign" {
+        return match campaign_cmd(&positionals[1..], &values, &flags) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if cmd != "run" && cmd != "batch" {
         eprintln!("unknown command {cmd:?}\n\n{USAGE}");
@@ -442,11 +629,25 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (cmd, values, flags) = parse(&args);
-        assert_eq!(cmd.as_deref(), Some("run"));
+        let (positionals, values, flags) = parse(&args);
+        assert_eq!(positionals, vec!["run".to_string()]);
         assert_eq!(values.get("n").map(String::as_str), Some("16"));
         assert_eq!(values.get("seed").map(String::as_str), Some("9"));
         assert!(flags.contains(&"trace".to_string()));
+    }
+
+    #[test]
+    fn parse_keeps_every_positional_in_order() {
+        let args: Vec<String> = ["campaign", "run", "campaigns/e3.campaign", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positionals, values, _) = parse(&args);
+        assert_eq!(
+            positionals,
+            vec!["campaign", "run", "campaigns/e3.campaign"]
+        );
+        assert_eq!(values.get("threads").map(String::as_str), Some("2"));
     }
 
     #[test]

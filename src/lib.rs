@@ -14,7 +14,10 @@
 //! * [`adversary`] — the lower-bound machinery (§3): probabilistic
 //!   valency, the valency-guided adversary, and structural attacks;
 //! * [`analysis`] — statistics, exact binomial tails (Lemma 4.4), and the
-//!   paper's bound curves.
+//!   paper's bound curves;
+//! * [`lab`] — the declarative campaign engine: scenario specs, sharded
+//!   scheduling, resumable journals, and a content-keyed result cache
+//!   (`synran campaign run campaigns/e3.campaign`).
 //!
 //! The umbrella crate re-exports everything; depend on it and use the
 //! module paths below, or depend on the member crates directly.
@@ -49,6 +52,7 @@ pub use synran_adversary as adversary;
 pub use synran_analysis as analysis;
 pub use synran_coin as coin;
 pub use synran_core as core;
+pub use synran_lab as lab;
 pub use synran_sim as sim;
 
 /// The most commonly used items, for glob import in examples and tests.
