@@ -30,7 +30,7 @@
 //! detects the variant — it has full information — and saves its budget.
 
 use synran_core::{CoinRule, StageKind, SynRanProcess};
-use synran_sim::{Adversary, Bit, DeliveryFilter, Intervention, ProcessId, World};
+use synran_sim::{Adversary, Bit, BitPlane, DeliveryFilter, Intervention, ProcessId, World};
 
 /// The coin-band stalling adversary for SynRan-family protocols.
 ///
@@ -89,11 +89,13 @@ impl Balancer {
 }
 
 /// A snapshot of the probabilistic-stage vote, as the adversary sees it
-/// between phases.
+/// between phases. Preferences are kept as bit-plane masks over process
+/// indices so the kill moves below are mask algebra plus set-bit walks
+/// rather than `Vec` scans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct VoteView {
-    ones: Vec<ProcessId>,
-    zeros: Vec<ProcessId>,
+    ones: BitPlane,
+    zeros: BitPlane,
     /// The coin band `[lo, hi]` of admissible 1-counts, intersected over
     /// all alive receivers' bases `N^{r−1}`.
     lo: usize,
@@ -102,8 +104,9 @@ struct VoteView {
 }
 
 fn observe(world: &World<SynRanProcess>) -> Option<VoteView> {
-    let mut ones = Vec::new();
-    let mut zeros = Vec::new();
+    let n = world.config().n();
+    let mut ones = BitPlane::new(n);
+    let mut zeros = BitPlane::new(n);
     let mut lo = 0usize;
     let mut hi = usize::MAX;
     let mut rule = None;
@@ -112,8 +115,8 @@ fn observe(world: &World<SynRanProcess>) -> Option<VoteView> {
         rule.get_or_insert(p.rule());
         match p.stage() {
             StageKind::Probabilistic | StageKind::Delay => match p.preference() {
-                Bit::One => ones.push(pid),
-                Bit::Zero => zeros.push(pid),
+                Bit::One => ones.set(pid.index()),
+                Bit::Zero => zeros.set(pid.index()),
             },
             // A process already flooding is out of the adversary's game.
             StageKind::Deterministic => return None,
@@ -144,7 +147,7 @@ impl Adversary<SynRanProcess> for Balancer {
         if cap == 0 || view.lo > view.hi {
             return Intervention::none();
         }
-        let o = view.ones.len();
+        let o = view.ones.count_ones();
 
         if o > view.hi {
             // Trim: remove 1-votes down into the band. Useless against the
@@ -159,7 +162,7 @@ impl Adversary<SynRanProcess> for Balancer {
                 // is impossible (we only remove). Spend nothing.
                 return Intervention::none();
             }
-            return Intervention::kill_all_silent(view.ones[..excess].iter().copied());
+            return Intervention::kill_all_silent(view.ones.ids().take(excess));
         }
 
         if o < view.lo {
@@ -169,21 +172,20 @@ impl Adversary<SynRanProcess> for Balancer {
             if view.rule != CoinRule::OneSided {
                 return Intervention::none();
             }
-            let z = view.zeros.len();
+            let z = view.zeros.count_ones();
             if z == 0 || z > cap {
                 return Intervention::none();
             }
-            let survivors: Vec<ProcessId> = world
-                .alive_ids()
-                .filter(|pid| !view.zeros.contains(pid))
-                .collect();
-            if survivors.len() < 2 {
+            // Survivors = alive ∧ ¬zeros, one and-not over the planes.
+            let mut survivors = world.alive_mask().clone();
+            survivors.subtract(&view.zeros);
+            if survivors.count_ones() < 2 {
                 return Intervention::none();
             }
             // Group B (every other survivor) keeps seeing the zeros.
-            let group_b: Vec<ProcessId> = survivors.iter().copied().step_by(2).collect();
+            let group_b: Vec<ProcessId> = survivors.ids().step_by(2).collect();
             let mut iv = Intervention::new();
-            for &victim in &view.zeros {
+            for victim in view.zeros.ids() {
                 iv = iv.kill(victim, DeliveryFilter::To(group_b.clone()));
             }
             return iv;

@@ -20,7 +20,7 @@
 
 use synran_core::{per_round_kill_budget, StageKind, SynRan, SynRanProcess};
 use synran_sim::{
-    Adversary, Bit, Intervention, Passive, ProcessId, SimConfig, SimError, SimRng, World,
+    Adversary, Bit, BitPlane, Intervention, Passive, SimConfig, SimError, SimRng, World,
 };
 
 use crate::{estimate_valency, Balancer, ProbeSet};
@@ -107,14 +107,15 @@ impl LowerBoundAdversary {
             return vec![Intervention::none()];
         }
 
-        let mut ones: Vec<ProcessId> = Vec::new();
-        let mut zeros: Vec<ProcessId> = Vec::new();
+        let n = world.config().n();
+        let mut ones = BitPlane::new(n);
+        let mut zeros = BitPlane::new(n);
         for pid in world.alive_ids() {
             let p = world.process(pid);
             if matches!(p.stage(), StageKind::Probabilistic | StageKind::Delay) {
                 match p.preference() {
-                    Bit::One => ones.push(pid),
-                    Bit::Zero => zeros.push(pid),
+                    Bit::One => ones.set(pid.index()),
+                    Bit::Zero => zeros.set(pid.index()),
                 }
             }
         }
@@ -123,14 +124,15 @@ impl LowerBoundAdversary {
         // would do with the same cap.
         let mut out = vec![Balancer::with_cap(cap).intervene(world)];
 
-        // Mass-target each preference, at two intensities.
+        // Mass-target each preference, at two intensities: the lowest `k`
+        // set bits of each preference plane.
         for group in [&ones, &zeros] {
             for k in [cap / 2, cap] {
-                let k = k.min(group.len());
+                let k = k.min(group.count_ones());
                 if k == 0 {
                     continue;
                 }
-                let iv = Intervention::kill_all_silent(group[..k].iter().copied());
+                let iv = Intervention::kill_all_silent(group.ids().take(k));
                 if !out.contains(&iv) {
                     out.push(iv);
                 }

@@ -1,7 +1,7 @@
 //! Preference-targeting adversaries for SynRan-family protocols.
 
 use synran_core::SynRanProcess;
-use synran_sim::{Adversary, Bit, Intervention, ProcessId, World};
+use synran_sim::{Adversary, Bit, BitPlane, Intervention, World};
 
 /// Kills up to `per_round` alive processes whose current preference is
 /// `target` — full information put to its most direct use.
@@ -61,12 +61,15 @@ impl Adversary<SynRanProcess> for PreferenceKiller {
         if k == 0 {
             return Intervention::none();
         }
-        let victims: Vec<ProcessId> = world
-            .alive_ids()
-            .filter(|&pid| world.process(pid).preference() == self.target)
-            .take(k)
-            .collect();
-        Intervention::kill_all_silent(victims)
+        // Mark every alive process preferring the target on a plane, then
+        // take the lowest `k` set bits — identical victims, in identical
+        // (ascending) order, to the old per-id filter scan.
+        let matching = BitPlane::from_fn(world.config().n(), |i| {
+            self.target == world.process(synran_sim::ProcessId::new(i)).preference()
+        });
+        let mut victims = matching;
+        victims.intersect_with(world.alive_mask());
+        Intervention::kill_all_silent(victims.ids().take(k))
     }
 
     fn name(&self) -> &str {

@@ -115,6 +115,37 @@ fn batch_row(n: usize, threads: usize, runs: usize, reps: usize) -> Row {
     }
 }
 
+/// Measures a fan-out of exactly [`parallel::MIN_CHUNK`] small worlds —
+/// below the spawn threshold, so `par_map` runs inline at any thread
+/// count and a tiny batch no longer pays thread spawn overhead
+/// (`speedup` ≈ 1.0 instead of the pre-threshold small-n penalty).
+fn tiny_batch_row(n: usize, threads: usize, reps: usize) -> Row {
+    let total = parallel::MIN_CHUNK;
+    let work = |i: usize| {
+        let protocol = SynRan::new();
+        let mut world = World::new(
+            SimConfig::new(n)
+                .faults(n / 2)
+                .seed(100 + i as u64)
+                .max_rounds(10_000),
+            |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+        )
+        .expect("valid config");
+        let report = world.run(&mut synran_sim::Passive).expect("run");
+        format!("{report:?}")
+    };
+    let go = |threads: usize| parallel::par_map(threads, total, work);
+    let identical = go(1) == go(threads);
+    assert!(identical, "tiny batch diverged at n={n}");
+    Row {
+        group: "tiny_batch",
+        n,
+        serial_ms: time_ms(reps, || go(1)),
+        parallel_ms: time_ms(reps, || go(threads)),
+        identical,
+    }
+}
+
 /// One spans-mode pass — a valency estimate plus a seed batch at the given
 /// thread count — returning the hub with the phase breakdown. Run outside
 /// the timed loops: telemetry is observe-only, but the breakdown should
@@ -223,6 +254,14 @@ fn main() {
         );
         rows.push(s);
     }
+    let tiny = tiny_batch_row(64, threads, reps);
+    println!(
+        "tiny_batch       n=64: serial {:.2} ms, {threads}-thread {:.2} ms ({:.2}x, inline below MIN_CHUNK)",
+        tiny.serial_ms,
+        tiny.parallel_ms,
+        tiny.speedup()
+    );
+    rows.push(tiny);
 
     // Spans-mode instrumentation pass (not timed): the serial-vs-parallel
     // phase breakdown recorded under the versioned "telemetry" key.

@@ -1,0 +1,227 @@
+//! Records the bit-plane-vs-scalar delivery baseline in `BENCH_plane.json`.
+//!
+//! The engine routes broadcast rounds whose messages bit-pack through
+//! word-packed planes (one bit per sender) instead of materialising `n²`
+//! `(sender, message)` pairs. This binary measures exactly that contrast
+//! with a twin experiment: the same broadcast-flood protocol run once with
+//! a packable payload (`Bit` — plane path) and once with the same payload
+//! wrapped in [`Opaque`] (never packs — scalar path). Both runs do
+//! identical protocol work and read only the inbox length, so the timing
+//! difference is the delivery representation and nothing else.
+//!
+//! For each system size the binary:
+//!
+//! * times `rounds` iterations of `phase_a` + `deliver` on both paths
+//!   (best-of-`reps` wall time);
+//! * records the `round.deliver` span totals from one instrumented pass
+//!   per path, isolating Phase B from the untouched Phase A;
+//! * asserts the plane run's full report is byte-identical to the
+//!   [`Scalarized`] oracle's at thread counts 1, 2, and 8.
+//!
+//! ```text
+//! cargo run --release -p synran-bench --bin bench_plane [-- --smoke]
+//! ```
+
+use std::time::Instant;
+
+use synran_bench::Args;
+use synran_sim::testing::{CountDown, Opaque, Scalarized};
+use synran_sim::{
+    Bit, Context, Inbox, Intervention, Process, SendPattern, SimConfig, Telemetry, TelemetryMode,
+    World,
+};
+
+/// `CountDown` with a payload the planes cannot pack: the scalar twin.
+#[derive(Debug, Clone)]
+struct OpaqueFlood {
+    remaining: u32,
+    last_inbox_len: usize,
+}
+
+impl Process for OpaqueFlood {
+    type Msg = Opaque<Bit>;
+
+    fn send(&mut self, _ctx: &mut Context<'_>) -> SendPattern<Opaque<Bit>> {
+        SendPattern::Broadcast(Opaque(Bit::One))
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, inbox: &Inbox<Opaque<Bit>>) {
+        self.last_inbox_len = inbox.len();
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        (self.remaining == 0).then_some(Bit::One)
+    }
+
+    fn halted(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// One plane-vs-scalar comparison row.
+struct Row {
+    n: usize,
+    rounds: u32,
+    scalar_ms: f64,
+    plane_ms: f64,
+    scalar_deliver_ns: u64,
+    plane_deliver_ns: u64,
+    identical: bool,
+}
+
+impl Row {
+    fn wall_speedup(&self) -> f64 {
+        self.scalar_ms / self.plane_ms.max(1e-9)
+    }
+
+    fn deliver_speedup(&self) -> f64 {
+        self.scalar_deliver_ns as f64 / (self.plane_deliver_ns as f64).max(1.0)
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds (after one warm-up call).
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Drives `rounds` broadcast rounds of a fresh world built by `build`.
+fn drive<P: Process>(build: &dyn Fn() -> World<P>, rounds: u32, telemetry: Option<&Telemetry>) {
+    let mut world = build();
+    if let Some(hub) = telemetry {
+        world.set_telemetry(hub.clone());
+    }
+    for _ in 0..rounds {
+        world.phase_a().expect("phase A");
+        world.deliver(Intervention::none()).expect("deliver");
+    }
+}
+
+/// Total nanoseconds spent in `round.deliver` spans during one pass.
+fn deliver_span_ns<P: Process>(build: &dyn Fn() -> World<P>, rounds: u32) -> u64 {
+    let hub = Telemetry::new(TelemetryMode::Spans);
+    drive(build, rounds, Some(&hub));
+    hub.snapshot()
+        .span_totals()
+        .iter()
+        .find(|(name, _, _)| name == "round.deliver")
+        .map_or(0, |&(_, _, total_ns)| total_ns)
+}
+
+/// Full-report byte identity between the plane run and its scalarized
+/// oracle, across thread counts (the plane path must not care).
+fn identical_across_threads(n: usize, rounds: u32) -> bool {
+    [1usize, 2, 8].iter().all(|&threads| {
+        let cfg = SimConfig::new(n).seed(0xB17).threads(threads);
+        let plain = {
+            let mut w =
+                World::new(cfg.clone(), |_| CountDown::new(rounds, Bit::One)).expect("config");
+            w.run(&mut synran_sim::Passive).expect("run")
+        };
+        let oracle = {
+            let mut w =
+                World::new(cfg, |_| Scalarized(CountDown::new(rounds, Bit::One))).expect("config");
+            w.run(&mut synran_sim::Passive).expect("run")
+        };
+        format!("{plain:?}") == format!("{oracle:?}")
+    })
+}
+
+fn bench_row(n: usize, rounds: u32, reps: usize) -> Row {
+    let plane_build = move || {
+        World::new(SimConfig::new(n).seed(0xB17), |_| {
+            CountDown::new(rounds + 1, Bit::One)
+        })
+        .expect("config")
+    };
+    let scalar_build = move || {
+        World::new(SimConfig::new(n).seed(0xB17), |_| OpaqueFlood {
+            remaining: rounds + 1,
+            last_inbox_len: 0,
+        })
+        .expect("config")
+    };
+    Row {
+        n,
+        rounds,
+        scalar_ms: time_ms(reps, || drive(&scalar_build, rounds, None)),
+        plane_ms: time_ms(reps, || drive(&plane_build, rounds, None)),
+        scalar_deliver_ns: deliver_span_ns(&scalar_build, rounds),
+        plane_deliver_ns: deliver_span_ns(&plane_build, rounds),
+        identical: identical_across_threads(n, rounds),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let reps = args.get_usize("reps", if smoke { 2 } else { 5 });
+    let rounds = u32::try_from(args.get_usize("rounds", if smoke { 20 } else { 200 }))
+        .expect("rounds fits u32");
+    let out = args.get("out").unwrap_or("BENCH_plane.json").to_string();
+    let sizes: &[usize] = if smoke { &[64] } else { &[64, 256, 1024] };
+
+    println!("bench_plane: sizes={sizes:?} rounds={rounds} reps={reps} smoke={smoke}");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let row = bench_row(n, rounds, reps);
+        println!(
+            "n={n}: scalar {:.2} ms / plane {:.2} ms ({:.2}x wall), \
+             round.deliver {:.2}x, identical={}",
+            row.scalar_ms,
+            row.plane_ms,
+            row.wall_speedup(),
+            row.deliver_speedup(),
+            row.identical,
+        );
+        assert!(row.identical, "plane/scalar divergence at n={n}");
+        if n == 1024 {
+            assert!(
+                row.deliver_speedup() >= 4.0,
+                "acceptance: round.deliver must improve >=4x at n=1024, got {:.2}x",
+                row.deliver_speedup()
+            );
+        }
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"bench_plane\",\n");
+    json.push_str("  \"version\": 1,\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(
+        "  \"note\": \"scalar = same broadcast flood with a never-packing payload; \
+         identical = the plane run's report matches the scalarized oracle \
+         byte-for-byte at threads 1, 2, and 8\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"rounds\": {}, \"scalar_ms\": {:.3}, \"plane_ms\": {:.3}, \
+             \"wall_speedup\": {:.3}, \"deliver_scalar_ns\": {}, \"deliver_plane_ns\": {}, \
+             \"deliver_speedup\": {:.3}, \"identical\": {}}}{}\n",
+            r.n,
+            r.rounds,
+            r.scalar_ms,
+            r.plane_ms,
+            r.wall_speedup(),
+            r.scalar_deliver_ns,
+            r.plane_deliver_ns,
+            r.deliver_speedup(),
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write baseline");
+    println!("wrote {out}");
+}

@@ -167,7 +167,7 @@ impl Process for FloodingProcess {
     }
 
     fn receive(&mut self, _ctx: &mut Context<'_>, inbox: &Inbox<ValueSet>) {
-        self.core.absorb(inbox.messages().copied());
+        self.core.absorb(inbox.messages());
         if self.core.done() {
             self.decision = self.core.decide();
         }

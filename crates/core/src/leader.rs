@@ -47,7 +47,7 @@
 //!    splitting their last messages keeps the estimates divided at ~2
 //!    kills per phase (see `synran_adversary::LeaderHunter` and E9).
 
-use synran_sim::{Bit, Context, Inbox, Process, ProcessId, SendPattern};
+use synran_sim::{Bit, Context, Inbox, PlaneMsg, Process, ProcessId, SendPattern};
 
 use crate::ConsensusProtocol;
 
@@ -129,6 +129,11 @@ pub enum LeaderMsg {
     /// A decided process's final broadcast.
     Decide(Bit),
 }
+
+/// Leader-election messages carry a 64-bit priority alongside the value,
+/// so none of them fit in a single delivery bit; every round takes the
+/// engine's scalar pair path.
+impl PlaneMsg for LeaderMsg {}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RoundKind {
@@ -236,7 +241,7 @@ impl Process for LeaderProcess {
         if let Some(LeaderMsg::Decide(v)) =
             inbox.messages().find(|m| matches!(m, LeaderMsg::Decide(_)))
         {
-            self.on_decide(*v);
+            self.on_decide(v);
             return;
         }
         if self.announce == Announce::Pending {
@@ -247,7 +252,7 @@ impl Process for LeaderProcess {
                 let mut counts = [0usize; 2];
                 for msg in inbox.messages() {
                     if let LeaderMsg::Est { value, .. } = msg {
-                        counts[usize::from(*value)] += 1;
+                        counts[usize::from(value)] += 1;
                     }
                 }
                 // A strict majority of all n processes: at most one value
@@ -272,10 +277,10 @@ impl Process for LeaderProcess {
                     } = msg
                     {
                         if let Some(v) = candidate {
-                            counts[usize::from(*v)] += 1;
+                            counts[usize::from(v)] += 1;
                         }
-                        if leader.is_none_or(|l| (l.0, l.1) < (*priority, *sender)) {
-                            leader = Some((*priority, *sender, *fallback));
+                        if leader.is_none_or(|l| (l.0, l.1) < (priority, sender)) {
+                            leader = Some((priority, sender, fallback));
                         }
                     }
                 }

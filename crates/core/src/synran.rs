@@ -28,7 +28,7 @@
 //! `Θ(t/√(n·log(2+t/√n)))` over the whole range `t < n` (Theorem 3) —
 //! matching the paper's lower bound.
 
-use synran_sim::{Bit, Context, Inbox, Process, ProcessId, SendPattern};
+use synran_sim::{Bit, Context, Inbox, PlaneMsg, Process, ProcessId, SendPattern};
 
 use crate::math::{deterministic_stage_rounds, deterministic_threshold};
 use crate::{ConsensusProtocol, FloodingCore, ValueSet};
@@ -269,6 +269,23 @@ pub enum SynRanMsg {
     Known(ValueSet),
 }
 
+impl PlaneMsg for SynRanMsg {
+    /// `Pref(b)` packs to `b`, so probabilistic-stage rounds — the
+    /// dominant, every-round broadcast of preferences — ride the engine's
+    /// bit-plane fast path. `Known(S)` never packs: any round carrying a
+    /// flooding set takes the scalar pair path.
+    fn pack(&self) -> Option<Bit> {
+        match self {
+            SynRanMsg::Pref(b) => Some(*b),
+            SynRanMsg::Known(_) => None,
+        }
+    }
+
+    fn unpack(bit: Bit) -> Option<SynRanMsg> {
+        Some(SynRanMsg::Pref(bit))
+    }
+}
+
 /// The action a SynRan process will take on receiving given counts — the
 /// paper's WHILE-loop body as data. See [`SynRanProcess::predict`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -490,18 +507,12 @@ impl SynRanProcess {
     /// WHILE loop), by applying [`predict`](Self::predict).
     fn probabilistic_step(&mut self, ctx: &mut Context<'_>, inbox: &Inbox<SynRanMsg>) {
         let n_r = inbox.len();
-        let mut o_r = 0usize;
-        let mut z_r = 0usize;
-        for msg in inbox.messages() {
-            match msg {
-                SynRanMsg::Pref(Bit::One) => o_r += 1,
-                SynRanMsg::Pref(Bit::Zero) => z_r += 1,
-                // A Known message means its sender already reached the
-                // deterministic stage; it counts toward N (it is a
-                // message) but carries no single preference.
-                SynRanMsg::Known(_) => {}
-            }
-        }
+        // Pref(b) packs to b, so the round tally is exactly (Z^r, O^r):
+        // on a plane-backed inbox both are popcounts. Known messages mean
+        // their senders already reached the deterministic stage; they
+        // count toward N (they are messages) but carry no single
+        // preference — and they never pack, so the tally skips them.
+        let (z_r, o_r) = inbox.tally();
         let step = self
             .predict(n_r, o_r, z_r)
             .expect("probabilistic_step runs only in the probabilistic stage");
@@ -526,10 +537,19 @@ impl SynRanProcess {
     /// skew between processes entering the stage).
     fn delay_step(&mut self, inbox: &Inbox<SynRanMsg>) {
         let mut known = ValueSet::single(self.b);
-        for msg in inbox.messages() {
-            match msg {
-                SynRanMsg::Pref(bit) => known.insert(*bit),
-                SynRanMsg::Known(set) => known.union_with(*set),
+        // Preferences heard during the delay arrive as packed bits — the
+        // tally says which values occurred without decoding any message.
+        let (zeros, ones) = inbox.tally();
+        if zeros > 0 {
+            known.insert(Bit::Zero);
+        }
+        if ones > 0 {
+            known.insert(Bit::One);
+        }
+        // Known(S) sets never pack; only those need a real decode walk.
+        for (_, msg) in inbox.unpackable() {
+            if let SynRanMsg::Known(set) = msg {
+                known.union_with(*set);
             }
         }
         self.stage =
@@ -553,8 +573,8 @@ impl Process for SynRanProcess {
             Stage::Delay => self.delay_step(inbox),
             Stage::Deterministic(core) => {
                 core.absorb(inbox.messages().map(|m| match m {
-                    SynRanMsg::Pref(bit) => ValueSet::single(*bit),
-                    SynRanMsg::Known(set) => *set,
+                    SynRanMsg::Pref(bit) => ValueSet::single(bit),
+                    SynRanMsg::Known(set) => set,
                 }));
                 if core.done() {
                     self.decision = core.decide();

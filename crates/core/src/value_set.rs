@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use synran_sim::Bit;
+use synran_sim::{Bit, PlaneMsg};
 
 /// A subset of `{0, 1}`: which consensus values a process knows exist.
 ///
@@ -112,6 +112,26 @@ impl ValueSet {
 impl From<Bit> for ValueSet {
     fn from(b: Bit) -> ValueSet {
         ValueSet::single(b)
+    }
+}
+
+impl PlaneMsg for ValueSet {
+    /// Singletons pack to their one value; the empty and full sets do
+    /// not. This keeps flooding's early rounds — where every process still
+    /// broadcasts the singleton of its input — on the engine's bit-plane
+    /// fast path, and satisfies the round-trip law because [`unpack`]
+    /// always reproduces the singleton that packed.
+    ///
+    /// [`unpack`]: PlaneMsg::unpack
+    fn pack(&self) -> Option<Bit> {
+        match self.len() {
+            1 => self.min(),
+            _ => None,
+        }
+    }
+
+    fn unpack(bit: Bit) -> Option<ValueSet> {
+        Some(ValueSet::single(bit))
     }
 }
 

@@ -49,6 +49,7 @@
 //! | [`Adversary`], [`Intervention`], [`DeliveryFilter`] | the fault-side interface |
 //! | [`FaultBudget`] | engine-enforced `t` |
 //! | [`SimRng`] | deterministic splittable randomness |
+//! | [`plane`] | word-packed bit-plane rows behind the broadcast fast path |
 //! | [`Trace`], [`Metrics`], [`RunReport`] | observability |
 //! | [`telemetry`] | spans, counters/histograms, JSONL sinks |
 //! | [`testing`] | trivial processes for tests and docs |
@@ -66,6 +67,7 @@ mod id;
 mod message;
 mod metrics;
 pub mod parallel;
+pub mod plane;
 mod process;
 mod report;
 mod rng;
@@ -82,6 +84,7 @@ pub use error::{ParseBitError, SimError};
 pub use id::{ProcessId, Round};
 pub use message::{Inbox, SendPattern};
 pub use metrics::Metrics;
+pub use plane::{BitPlane, PlaneMsg};
 pub use process::{Context, Process};
 pub use report::RunReport;
 pub use rng::{SimRng, StreamPhase};

@@ -1,6 +1,7 @@
 //! Messages, send patterns, and inboxes.
 
-use crate::ProcessId;
+use crate::plane::{BitPlane, Ones, PlaneMsg};
+use crate::{Bit, ProcessId};
 
 /// What a process emits in Phase A of a round.
 ///
@@ -65,10 +66,36 @@ impl<M> Default for SendPattern<M> {
     }
 }
 
+/// Backing representation of an [`Inbox`].
+///
+/// `Pairs` is the scalar layout: explicit `(sender, message)` pairs in
+/// ascending sender order. `Plane` is the bit-plane layout used by the
+/// round engine's broadcast fast path: a sent mask plus a value mask, two
+/// `u64` words per 64 senders, from which messages are decoded on demand
+/// via [`PlaneMsg::unpack`].
+#[derive(Debug, Clone)]
+enum Repr<M> {
+    Pairs(Vec<(ProcessId, M)>),
+    Plane {
+        /// Bit `s` set iff a message from sender `s` was delivered.
+        sent: BitPlane,
+        /// Bit `s` set iff that message packed to [`Bit::One`].
+        /// Invariant: subset of `sent`.
+        ones: BitPlane,
+    },
+}
+
 /// The messages a process received in one round, tagged by sender.
 ///
 /// Senders appear in ascending id order, at most once each (synchronous
 /// rounds deliver at most one message per ordered pair of processes).
+///
+/// An inbox is either backed by explicit `(sender, message)` pairs or —
+/// when the round engine's broadcast fast path engaged — by a pair of
+/// [`BitPlane`] rows (a sent mask and a value mask) from which messages
+/// are decoded on demand. The two representations are observationally
+/// identical: iteration order, [`from`](Inbox::from), counts, and
+/// equality do not depend on the backing layout.
 ///
 /// # Examples
 ///
@@ -80,19 +107,22 @@ impl<M> Default for SendPattern<M> {
 ///     (ProcessId::new(2), Bit::Zero),
 /// ]);
 /// assert_eq!(inbox.len(), 2);
-/// assert_eq!(inbox.from(ProcessId::new(2)), Some(&Bit::Zero));
+/// assert_eq!(inbox.from(ProcessId::new(2)), Some(Bit::Zero));
 /// assert_eq!(inbox.from(ProcessId::new(1)), None);
+/// assert_eq!(inbox.tally(), (1, 1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Inbox<M> {
-    msgs: Vec<(ProcessId, M)>,
+    repr: Repr<M>,
 }
 
 impl<M> Inbox<M> {
     /// Creates an empty inbox.
     #[must_use]
     pub fn empty() -> Inbox<M> {
-        Inbox { msgs: Vec::new() }
+        Inbox {
+            repr: Repr::Pairs(Vec::new()),
+        }
     }
 
     /// Creates an inbox from `(sender, message)` pairs.
@@ -108,58 +138,207 @@ impl<M> Inbox<M> {
             msgs.windows(2).all(|w| w[0].0 < w[1].0),
             "inbox senders must be strictly ascending"
         );
-        Inbox { msgs }
+        Inbox {
+            repr: Repr::Pairs(msgs),
+        }
+    }
+
+    /// Creates a plane-backed inbox from a sent mask and a value mask.
+    ///
+    /// Bit `s` of `sent` means a message from sender `s` was delivered;
+    /// bit `s` of `ones` means that message packed to [`Bit::One`]. Only
+    /// meaningful for message types whose [`PlaneMsg`] impl round-trips —
+    /// the round engine guarantees this before taking the fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `ones` is not a subset of `sent` or the
+    /// widths differ.
+    #[must_use]
+    pub fn from_plane(sent: BitPlane, ones: BitPlane) -> Inbox<M>
+    where
+        M: PlaneMsg,
+    {
+        debug_assert_eq!(sent.width(), ones.width(), "plane width mismatch");
+        debug_assert!(
+            sent.words()
+                .iter()
+                .zip(ones.words())
+                .all(|(s, o)| o & !s == 0),
+            "value mask must be a subset of the sent mask"
+        );
+        Inbox {
+            repr: Repr::Plane { sent, ones },
+        }
     }
 
     /// Number of messages received this round — the paper's `N_i^r`.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.msgs.len()
+        match &self.repr {
+            Repr::Pairs(msgs) => msgs.len(),
+            Repr::Plane { sent, .. } => sent.count_ones(),
+        }
     }
 
     /// Returns `true` if nothing was received.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
+        match &self.repr {
+            Repr::Pairs(msgs) => msgs.is_empty(),
+            Repr::Plane { sent, .. } => sent.is_empty(),
+        }
     }
 
-    /// The message from `sender`, if one was delivered.
+    /// The backing planes `(sent, ones)` when this inbox is plane-backed.
     #[must_use]
-    pub fn from(&self, sender: ProcessId) -> Option<&M> {
-        self.msgs
-            .binary_search_by_key(&sender, |(s, _)| *s)
-            .ok()
-            .map(|i| &self.msgs[i].1)
+    pub fn planes(&self) -> Option<(&BitPlane, &BitPlane)> {
+        match &self.repr {
+            Repr::Pairs(_) => None,
+            Repr::Plane { sent, ones } => Some((sent, ones)),
+        }
     }
 
-    /// Iterates over `(sender, message)` pairs in ascending sender order.
-    pub fn iter(&self) -> std::slice::Iter<'_, (ProcessId, M)> {
-        self.msgs.iter()
-    }
-
-    /// Iterates over the messages alone, in ascending sender order.
-    pub fn messages(&self) -> impl Iterator<Item = &M> {
-        self.msgs.iter().map(|(_, m)| m)
+    /// Consumes a plane-backed inbox, returning its `(sent, ones)` planes.
+    ///
+    /// The round engine uses this to recycle plane allocations across
+    /// rounds, mirroring [`into_messages`](Inbox::into_messages) for the
+    /// pair representation. Returns `None` for pair-backed inboxes.
+    #[must_use]
+    pub fn into_planes(self) -> Option<(BitPlane, BitPlane)> {
+        match self.repr {
+            Repr::Pairs(_) => None,
+            Repr::Plane { sent, ones } => Some((sent, ones)),
+        }
     }
 
     /// Iterates over the senders alone, in ascending order.
-    pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.msgs.iter().map(|(s, _)| *s)
+    pub fn senders(&self) -> Senders<'_, M> {
+        Senders {
+            inner: match &self.repr {
+                Repr::Pairs(msgs) => SendersRepr::Pairs(msgs.iter()),
+                Repr::Plane { sent, .. } => SendersRepr::Plane(sent.ones()),
+            },
+        }
+    }
+
+    /// Iterates over messages whose payload does **not** pack to a bit
+    /// (i.e. [`PlaneMsg::pack`] returns `None`), in ascending sender
+    /// order. Plane-backed inboxes hold only packed messages, so the
+    /// iterator is empty there.
+    ///
+    /// Protocols use this to split a round into its bit tally (via
+    /// [`tally`](Inbox::tally)) plus the rare structured messages —
+    /// SynRan's `Known(S)` notifications — without decoding every bit.
+    pub fn unpackable(&self) -> Unpackable<'_, M>
+    where
+        M: PlaneMsg,
+    {
+        Unpackable {
+            inner: match &self.repr {
+                Repr::Pairs(msgs) => Some(msgs.iter()),
+                Repr::Plane { .. } => None,
+            },
+        }
+    }
+}
+
+impl<M: PlaneMsg + Clone> Inbox<M> {
+    /// The message from `sender`, if one was delivered.
+    #[must_use]
+    pub fn from(&self, sender: ProcessId) -> Option<M> {
+        match &self.repr {
+            Repr::Pairs(msgs) => msgs
+                .binary_search_by_key(&sender, |(s, _)| *s)
+                .ok()
+                .map(|i| msgs[i].1.clone()),
+            Repr::Plane { sent, ones } => {
+                let i = sender.index();
+                if i < sent.width() && sent.get(i) {
+                    Some(decode::<M>(Bit::from(ones.get(i))))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Iterates over `(sender, message)` pairs in ascending sender order.
+    ///
+    /// Messages are yielded by value: pair-backed inboxes clone, plane-
+    /// backed inboxes decode from the value mask. Both orders are the
+    /// engine's delivery order, bit for bit.
+    pub fn iter(&self) -> InboxIter<'_, M> {
+        InboxIter {
+            inner: match &self.repr {
+                Repr::Pairs(msgs) => IterRepr::Pairs(msgs.iter()),
+                Repr::Plane { sent, ones } => IterRepr::Plane {
+                    sent: sent.ones(),
+                    ones,
+                },
+            },
+        }
+    }
+
+    /// Iterates over the messages alone, in ascending sender order.
+    pub fn messages(&self) -> impl Iterator<Item = M> + '_ {
+        self.iter().map(|(_, m)| m)
     }
 
     /// Counts messages satisfying a predicate.
     pub fn count_where(&self, mut pred: impl FnMut(&M) -> bool) -> usize {
-        self.msgs.iter().filter(|(_, m)| pred(m)).count()
+        match &self.repr {
+            Repr::Pairs(msgs) => msgs.iter().filter(|(_, m)| pred(m)).count(),
+            Repr::Plane { .. } => self.messages().filter(|m| pred(m)).count(),
+        }
     }
 
-    /// Consumes the inbox, returning the backing buffer.
+    /// Counts the `(zeros, ones)` among messages that pack to a bit.
     ///
-    /// The round engine uses this to recycle inbox allocations across
-    /// rounds instead of rebuilding every `Vec` from scratch.
+    /// This is the round tally behind SynRan's threshold rules (`Z^r`,
+    /// `O^r`): messages that do not pack — structured payloads like
+    /// `Known(S)` — count toward [`len`](Inbox::len) but toward neither
+    /// side of the tally. On a plane-backed inbox both counts are
+    /// popcounts; no messages are decoded.
+    #[must_use]
+    pub fn tally(&self) -> (usize, usize) {
+        match &self.repr {
+            Repr::Pairs(msgs) => {
+                let mut zeros = 0;
+                let mut ones = 0;
+                for (_, m) in msgs {
+                    match m.pack() {
+                        Some(Bit::Zero) => zeros += 1,
+                        Some(Bit::One) => ones += 1,
+                        None => {}
+                    }
+                }
+                (zeros, ones)
+            }
+            Repr::Plane { sent, ones } => {
+                let one_count = ones.count_ones();
+                (sent.count_ones() - one_count, one_count)
+            }
+        }
+    }
+
+    /// Consumes the inbox, returning its contents as a pair buffer.
+    ///
+    /// The round engine uses this to recycle pair-backed inbox allocations
+    /// across rounds; plane-backed inboxes decode into a fresh `Vec` (use
+    /// [`into_planes`](Inbox::into_planes) to recycle those).
     #[must_use]
     pub fn into_messages(self) -> Vec<(ProcessId, M)> {
-        self.msgs
+        match self.repr {
+            Repr::Pairs(msgs) => msgs,
+            Repr::Plane { .. } => self.iter().collect(),
+        }
     }
+}
+
+/// Decodes one packed bit back into `M`, which must round-trip.
+fn decode<M: PlaneMsg>(bit: Bit) -> M {
+    M::unpack(bit).expect("plane-backed inbox holds a message type that packs to bits")
 }
 
 impl<M> Default for Inbox<M> {
@@ -168,12 +347,87 @@ impl<M> Default for Inbox<M> {
     }
 }
 
-impl<'a, M> IntoIterator for &'a Inbox<M> {
-    type Item = &'a (ProcessId, M);
-    type IntoIter = std::slice::Iter<'a, (ProcessId, M)>;
+impl<M: PlaneMsg + Clone + PartialEq> PartialEq for Inbox<M> {
+    /// Observational equality: same `(sender, message)` sequence,
+    /// regardless of backing representation.
+    fn eq(&self, other: &Inbox<M>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<M: PlaneMsg + Clone + Eq> Eq for Inbox<M> {}
+
+/// Owned-pair iterator over an [`Inbox`], ascending sender order.
+#[derive(Debug)]
+pub struct InboxIter<'a, M> {
+    inner: IterRepr<'a, M>,
+}
+
+#[derive(Debug)]
+enum IterRepr<'a, M> {
+    Pairs(std::slice::Iter<'a, (ProcessId, M)>),
+    Plane { sent: Ones<'a>, ones: &'a BitPlane },
+}
+
+impl<M: PlaneMsg + Clone> Iterator for InboxIter<'_, M> {
+    type Item = (ProcessId, M);
+
+    fn next(&mut self) -> Option<(ProcessId, M)> {
+        match &mut self.inner {
+            IterRepr::Pairs(iter) => iter.next().map(|(s, m)| (*s, m.clone())),
+            IterRepr::Plane { sent, ones } => sent
+                .next()
+                .map(|s| (ProcessId::new(s), decode::<M>(Bit::from(ones.get(s))))),
+        }
+    }
+}
+
+impl<'a, M: PlaneMsg + Clone> IntoIterator for &'a Inbox<M> {
+    type Item = (ProcessId, M);
+    type IntoIter = InboxIter<'a, M>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.msgs.iter()
+        self.iter()
+    }
+}
+
+/// Ascending sender iterator over an [`Inbox`].
+#[derive(Debug)]
+pub struct Senders<'a, M> {
+    inner: SendersRepr<'a, M>,
+}
+
+#[derive(Debug)]
+enum SendersRepr<'a, M> {
+    Pairs(std::slice::Iter<'a, (ProcessId, M)>),
+    Plane(Ones<'a>),
+}
+
+impl<M> Iterator for Senders<'_, M> {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        match &mut self.inner {
+            SendersRepr::Pairs(iter) => iter.next().map(|(s, _)| *s),
+            SendersRepr::Plane(ones) => ones.next().map(ProcessId::new),
+        }
+    }
+}
+
+/// Iterator over the non-packing messages of an [`Inbox`]
+/// (see [`Inbox::unpackable`]).
+#[derive(Debug)]
+pub struct Unpackable<'a, M> {
+    /// `None` for plane-backed inboxes: every message there packed.
+    inner: Option<std::slice::Iter<'a, (ProcessId, M)>>,
+}
+
+impl<'a, M: PlaneMsg> Iterator for Unpackable<'a, M> {
+    type Item = (ProcessId, &'a M);
+
+    fn next(&mut self) -> Option<(ProcessId, &'a M)> {
+        let iter = self.inner.as_mut()?;
+        iter.find(|(_, m)| m.pack().is_none()).map(|(s, m)| (*s, m))
     }
 }
 
@@ -182,7 +436,9 @@ impl<M> FromIterator<(ProcessId, M)> for Inbox<M> {
     fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Inbox<M> {
         let mut msgs: Vec<(ProcessId, M)> = iter.into_iter().collect();
         msgs.sort_by_key(|(s, _)| *s);
-        Inbox { msgs }
+        Inbox {
+            repr: Repr::Pairs(msgs),
+        }
     }
 }
 
@@ -237,10 +493,11 @@ mod tests {
         ]);
         assert_eq!(inbox.len(), 3);
         assert!(!inbox.is_empty());
-        assert_eq!(inbox.from(pid(2)), Some(&Bit::Zero));
+        assert_eq!(inbox.from(pid(2)), Some(Bit::Zero));
         assert_eq!(inbox.from(pid(3)), None);
         assert_eq!(inbox.count_where(|m| m.is_one()), 2);
         assert_eq!(inbox.count_where(|m| m.is_zero()), 1);
+        assert_eq!(inbox.tally(), (1, 2));
         let senders: Vec<_> = inbox.senders().map(ProcessId::index).collect();
         assert_eq!(senders, vec![0, 2, 4]);
     }
@@ -260,15 +517,69 @@ mod tests {
         assert!(inbox.is_empty());
         assert_eq!(inbox.len(), 0);
         assert_eq!(inbox.from(pid(0)), None);
+        assert_eq!(inbox.tally(), (0, 0));
         assert_eq!(Inbox::<Bit>::default(), inbox);
     }
 
     #[test]
     fn inbox_iteration_matches_contents() {
         let inbox = Inbox::from_messages(vec![(pid(0), Bit::Zero), (pid(1), Bit::One)]);
-        let collected: Vec<_> = (&inbox).into_iter().cloned().collect();
+        let collected: Vec<_> = (&inbox).into_iter().collect();
         assert_eq!(collected, vec![(pid(0), Bit::Zero), (pid(1), Bit::One)]);
-        let msgs: Vec<_> = inbox.messages().copied().collect();
+        let msgs: Vec<_> = inbox.messages().collect();
         assert_eq!(msgs, vec![Bit::Zero, Bit::One]);
+    }
+
+    #[test]
+    fn plane_backed_inbox_is_observationally_equal_to_pairs() {
+        // Senders {1, 3, 66} of width 70; 3 sent a one, the rest zeros.
+        let n = 70;
+        let mut sent = BitPlane::new(n);
+        let mut ones = BitPlane::new(n);
+        for s in [1usize, 3, 66] {
+            sent.set(s);
+        }
+        ones.set(3);
+        let plane: Inbox<Bit> = Inbox::from_plane(sent, ones);
+        let pairs = Inbox::from_messages(vec![
+            (pid(1), Bit::Zero),
+            (pid(3), Bit::One),
+            (pid(66), Bit::Zero),
+        ]);
+
+        assert_eq!(plane, pairs);
+        assert_eq!(plane.len(), 3);
+        assert_eq!(plane.from(pid(3)), Some(Bit::One));
+        assert_eq!(plane.from(pid(66)), Some(Bit::Zero));
+        assert_eq!(plane.from(pid(0)), None);
+        assert_eq!(plane.from(pid(200)), None, "out-of-width sender");
+        assert_eq!(plane.tally(), pairs.tally());
+        assert_eq!(plane.count_where(|m| m.is_zero()), 2);
+        assert!(plane.iter().eq(pairs.iter()), "iteration order matches");
+        assert!(plane.senders().eq(pairs.senders()));
+        assert_eq!(plane.unpackable().count(), 0);
+        assert!(plane.planes().is_some());
+        assert!(pairs.planes().is_none());
+        assert_eq!(
+            plane.clone().into_messages(),
+            pairs.clone().into_messages(),
+            "plane decodes into the same pair buffer"
+        );
+        let (s, o) = plane.into_planes().expect("plane-backed");
+        assert_eq!(s.count_ones(), 3);
+        assert_eq!(o.count_ones(), 1);
+        assert!(pairs.into_planes().is_none());
+    }
+
+    #[test]
+    fn unpackable_filters_packed_messages() {
+        // u32 never packs, so every message is "unpackable".
+        let inbox: Inbox<u32> = Inbox::from_messages(vec![(pid(0), 7), (pid(2), 9)]);
+        let got: Vec<(usize, u32)> = inbox.unpackable().map(|(s, m)| (s.index(), *m)).collect();
+        assert_eq!(got, vec![(0, 7), (2, 9)]);
+        assert_eq!(inbox.tally(), (0, 0), "nothing packs, nothing tallies");
+        // Bit always packs, so nothing is unpackable.
+        let bits = Inbox::from_messages(vec![(pid(1), Bit::One)]);
+        assert_eq!(bits.unpackable().count(), 0);
     }
 }

@@ -29,6 +29,17 @@ use crate::{Adversary, Process, RunReport, SimError, Telemetry, World};
 /// Sentinel for "use all available parallelism" in thread-count knobs.
 pub const AUTO_THREADS: usize = 0;
 
+/// Minimum work units per spawned worker.
+///
+/// Spawning a thread costs more than evaluating a handful of small forks,
+/// so tiny fan-outs (the `n = 64` regime, estimator probes with few
+/// samples) used to run *slower* parallel than serial. Capping workers at
+/// `ceil(total / MIN_CHUNK)` makes small batches collapse toward the
+/// inline path while leaving large batches' chunking unchanged — and the
+/// worker count stays a pure function of `(total, threads)`, preserving
+/// the determinism contract.
+pub const MIN_CHUNK: usize = 4;
+
 /// Resolves a requested thread count: [`AUTO_THREADS`] (`0`) becomes the
 /// machine's available parallelism, anything else is taken literally.
 ///
@@ -83,7 +94,7 @@ where
 {
     let _span = telemetry.span("parallel.par_map");
     telemetry.incr("parallel.tasks", total as u64);
-    let workers = resolve_threads(threads).min(total);
+    let workers = resolve_threads(threads).min(total.div_ceil(MIN_CHUNK));
     if workers <= 1 {
         let _worker = telemetry.worker_span("parallel.worker", 0);
         return (0..total).map(f).collect();
@@ -272,6 +283,37 @@ mod tests {
             .collect();
         assert_eq!(workers.len(), 4, "one span per worker");
         assert!(snap.spans.iter().any(|s| s.name == "parallel.par_map"));
+    }
+
+    #[test]
+    fn tiny_batches_collapse_to_one_worker() {
+        use crate::telemetry::{Telemetry, TelemetryMode};
+        // total ≤ MIN_CHUNK: any thread count runs inline (one worker span,
+        // worker 0) and results still match serial.
+        for threads in [2, 8, 64] {
+            let telemetry = Telemetry::new(TelemetryMode::Spans);
+            let out = par_map_in(&telemetry, threads, MIN_CHUNK, |i| i * 7);
+            assert_eq!(out, vec![0, 7, 14, 21], "threads = {threads}");
+            let snap = telemetry.snapshot();
+            let workers: Vec<u32> = snap
+                .spans
+                .iter()
+                .filter(|s| s.name == "parallel.worker")
+                .filter_map(|s| s.worker)
+                .collect();
+            assert_eq!(workers, vec![0], "threads = {threads}: expected inline run");
+        }
+        // Just past the threshold: exactly two workers, same results.
+        let telemetry = Telemetry::new(TelemetryMode::Spans);
+        let out = par_map_in(&telemetry, 64, MIN_CHUNK + 1, |i| i * 7);
+        assert_eq!(out, (0..=MIN_CHUNK).map(|i| i * 7).collect::<Vec<_>>());
+        let spans = telemetry.snapshot();
+        let workers = spans
+            .spans
+            .iter()
+            .filter(|s| s.name == "parallel.worker")
+            .count();
+        assert_eq!(workers, 2);
     }
 
     #[test]

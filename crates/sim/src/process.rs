@@ -51,7 +51,13 @@ use crate::{Bit, Inbox, ProcessId, Round, SendPattern, SimRng};
 /// ```
 pub trait Process: std::fmt::Debug {
     /// The message type this process exchanges.
-    type Msg: Clone + std::fmt::Debug;
+    ///
+    /// The [`PlaneMsg`](crate::PlaneMsg) bound is what lets the round
+    /// engine route broadcast rounds through the bit-plane fast path:
+    /// message types that pack to a bit ride the planes, the rest use the
+    /// scalar pair-vector path. Types with no natural bit packing just
+    /// take the trait's defaults (`impl PlaneMsg for MyMsg {}`).
+    type Msg: Clone + std::fmt::Debug + crate::PlaneMsg;
 
     /// Phase A of a round: flip coins, compute, and emit messages.
     fn send(&mut self, ctx: &mut Context<'_>) -> SendPattern<Self::Msg>;

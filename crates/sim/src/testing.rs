@@ -4,7 +4,7 @@
 //! behaviour (phases, kills, delivery filters, budgets) can be tested
 //! without dragging in a real consensus protocol.
 
-use crate::{Bit, Context, Inbox, Process, SendPattern};
+use crate::{Bit, Context, Inbox, PlaneMsg, Process, ProcessId, SendPattern};
 
 /// Broadcasts its input once, then decides it and halts.
 ///
@@ -151,6 +151,62 @@ impl Process for CoinCaller {
     }
 }
 
+/// A message wrapper that hides its payload's bit packing.
+///
+/// `Opaque<M>` carries `M` but its [`PlaneMsg`] impl never packs, so every
+/// round of `Opaque` messages takes the engine's scalar pair path even when
+/// `M` itself would ride the planes. Differential tests wrap a protocol in
+/// [`Scalarized`] to re-run it through the scalar path as the oracle for
+/// the plane fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opaque<M>(pub M);
+
+impl<M> PlaneMsg for Opaque<M> {}
+
+/// Runs any process through the scalar delivery path by wrapping its
+/// messages in [`Opaque`].
+///
+/// `Scalarized<P>` is observationally identical to `P` — same sends (modulo
+/// the wrapper), same receives, same decisions, same coins — but its
+/// message type never packs, so the engine never takes the plane fast
+/// path. Running a protocol plain and scalarized from the same seed and
+/// comparing traces, metrics, and reports is the plane/scalar differential
+/// oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scalarized<P>(pub P);
+
+impl<P: Process> Process for Scalarized<P> {
+    type Msg = Opaque<P::Msg>;
+
+    fn send(&mut self, ctx: &mut Context<'_>) -> SendPattern<Opaque<P::Msg>> {
+        match self.0.send(ctx) {
+            SendPattern::Broadcast(m) => SendPattern::Broadcast(Opaque(m)),
+            SendPattern::To(list) => {
+                SendPattern::To(list.into_iter().map(|(to, m)| (to, Opaque(m))).collect())
+            }
+            SendPattern::Silent => SendPattern::Silent,
+        }
+    }
+
+    fn receive(&mut self, ctx: &mut Context<'_>, inbox: &Inbox<Opaque<P::Msg>>) {
+        let unwrapped: Inbox<P::Msg> = inbox
+            .iter()
+            .map(|(sender, Opaque(m))| (sender, m))
+            .collect::<Vec<(ProcessId, P::Msg)>>()
+            .into_iter()
+            .collect();
+        self.0.receive(ctx, &unwrapped);
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        self.0.decision()
+    }
+
+    fn halted(&self) -> bool {
+        self.0.halted()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +231,34 @@ mod tests {
         let mut w = World::new(SimConfig::new(2).seed(0), |_| CountDown::new(7, Bit::One)).unwrap();
         let report = w.run(&mut Passive).unwrap();
         assert_eq!(report.rounds(), 7);
+    }
+
+    #[test]
+    fn scalarized_echo_matches_plain_echo_but_takes_the_scalar_path() {
+        use crate::telemetry::{Telemetry, TelemetryMode};
+        let factory = |pid: ProcessId| Echo::new(Bit::from(pid.index().is_multiple_of(2)));
+        let plain = {
+            let hub = Telemetry::new(TelemetryMode::Counters);
+            let mut w = World::new(SimConfig::new(5).seed(9).trace(true), factory).unwrap();
+            w.set_telemetry(hub.clone());
+            let report = w.run(&mut Passive).unwrap();
+            assert_eq!(hub.snapshot().counter("round.deliver.plane"), Some(1));
+            assert_eq!(hub.snapshot().counter("round.deliver.scalar"), None);
+            report
+        };
+        let hub = Telemetry::new(TelemetryMode::Counters);
+        let scalar = {
+            let mut w = World::new(SimConfig::new(5).seed(9).trace(true), |pid| {
+                Scalarized(factory(pid))
+            })
+            .unwrap();
+            w.set_telemetry(hub.clone());
+            w.run(&mut Passive).unwrap()
+        };
+        assert_eq!(hub.snapshot().counter("round.deliver.scalar"), Some(1));
+        assert_eq!(hub.snapshot().counter("round.deliver.plane"), None);
+        // Same decisions, statuses, metrics, and trace — byte for byte.
+        assert_eq!(format!("{plain:?}"), format!("{scalar:?}"));
     }
 
     #[test]

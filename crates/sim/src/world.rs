@@ -1,9 +1,9 @@
 //! The synchronous world: round engine, fault enforcement, and forking.
 
 use crate::{
-    telemetry::per_round_kill_cap, trace::Event, Adversary, Bit, Context, DeliveryFilter,
-    FaultBudget, Inbox, Intervention, Metrics, Process, ProcessId, Round, RunReport, SendPattern,
-    SimConfig, SimError, SimRng, StreamPhase, Telemetry, Trace,
+    telemetry::per_round_kill_cap, trace::Event, Adversary, Bit, BitPlane, Context, DeliveryFilter,
+    FaultBudget, Inbox, Intervention, Kill, Metrics, PlaneMsg, Process, ProcessId, Round,
+    RunReport, SendPattern, SimConfig, SimError, SimRng, StreamPhase, Telemetry, Trace,
 };
 
 /// Lifecycle of a process within an execution.
@@ -77,22 +77,48 @@ struct KillStat {
     had_outbox: bool,
 }
 
+/// A kill whose [`DeliveryFilter`] lets only *some* recipients hear the
+/// victim's broadcast, recorded for the plane fast path as the victim's
+/// sender bit, packed value, and allowed-recipient mask.
+#[derive(Debug)]
+struct PartialKill {
+    sender: usize,
+    one: bool,
+    allowed: BitPlane,
+}
+
 /// Reusable per-round buffers, pooled across rounds so [`World::deliver`]
 /// performs no per-round allocations once the inbox buffers have warmed up.
 ///
 /// Invariant: between [`World::deliver`] calls every inbox buffer is empty,
-/// `kill_stats` is empty, and every `filter_of` entry is [`NO_KILL`] — so a
-/// freshly constructed scratch is interchangeable with a used one, which is
-/// what lets [`Clone`] hand forks an empty pool.
+/// `kill_stats` and `partials` are empty, the round planes (`sent_base`,
+/// `ones_base`, `adj_mark`) are all-zeros, and every `filter_of` entry is
+/// [`NO_KILL`] — so a freshly constructed scratch is interchangeable with a
+/// used one, which is what lets [`Clone`] hand forks an empty pool.
 #[derive(Debug)]
 struct RoundScratch<M> {
-    /// Per-recipient message buffers, recycled through
+    /// Per-recipient message buffers (scalar path), recycled through
     /// [`Inbox::into_messages`] each round.
     inboxes: Vec<Vec<(ProcessId, M)>>,
     /// Per-sender index into this round's kill list, or [`NO_KILL`].
     filter_of: Vec<u32>,
     /// Delivery stats per kill, in intervention order.
     kill_stats: Vec<KillStat>,
+    /// Plane path: bit `s` set iff sender `s` broadcast to everyone.
+    sent_base: BitPlane,
+    /// Plane path: bit `s` set iff that broadcast packed to [`Bit::One`].
+    ones_base: BitPlane,
+    /// Plane path: partially-filtered kills this round (rare).
+    partials: Vec<PartialKill>,
+    /// Union of the `partials` allowed masks: recipients needing an
+    /// adjusted inbox instead of the shared base planes.
+    adj_mark: BitPlane,
+    /// Pooled planes the adjusted inboxes are rebuilt in.
+    adj_sent: BitPlane,
+    /// Pooled value plane paired with `adj_sent`.
+    adj_ones: BitPlane,
+    /// Recycled allowed-mask planes for future `partials`.
+    mask_pool: Vec<BitPlane>,
 }
 
 impl<M> RoundScratch<M> {
@@ -101,6 +127,13 @@ impl<M> RoundScratch<M> {
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             filter_of: vec![NO_KILL; n],
             kill_stats: Vec::new(),
+            sent_base: BitPlane::new(n),
+            ones_base: BitPlane::new(n),
+            partials: Vec::new(),
+            adj_mark: BitPlane::new(n),
+            adj_sent: BitPlane::new(n),
+            adj_ones: BitPlane::new(n),
+            mask_pool: Vec::new(),
         }
     }
 }
@@ -142,6 +175,10 @@ pub struct World<P: Process> {
     trace: Trace,
     telemetry: Telemetry,
     seed: u64,
+    /// Bit `i` set iff process `i` is [`ProcessStatus::Alive`] — kept in
+    /// lockstep with `slots` so liveness queries (and the adversaries'
+    /// candidate-mask algebra) are popcounts instead of status scans.
+    alive: BitPlane,
     scratch: RoundScratch<P::Msg>,
 }
 
@@ -165,6 +202,7 @@ where
             trace: self.trace.clone(),
             telemetry: self.telemetry.clone(),
             seed: self.seed,
+            alive: self.alive.clone(),
             scratch: RoundScratch::new(self.cfg.n()),
         }
     }
@@ -205,6 +243,7 @@ impl<P: Process> World<P> {
             phase: Phase::BeforeSend,
             outboxes: (0..n).map(|_| None).collect(),
             slots,
+            alive: BitPlane::full(n),
             scratch: RoundScratch::new(n),
             cfg,
         })
@@ -301,19 +340,25 @@ impl<P: Process> World<P> {
             .map(|(i, s)| (ProcessId::new(i), &s.proc, s.status))
     }
 
-    /// Ids of all processes still participating.
+    /// Ids of all processes still participating, in ascending order.
     pub fn alive_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|&(_i, s)| s.status.is_alive())
-            .map(|(i, _s)| ProcessId::new(i))
+        self.alive.ids()
+    }
+
+    /// The alive set as a [`BitPlane`]: bit `i` set iff process `i` is
+    /// [`ProcessStatus::Alive`].
+    ///
+    /// Adversaries build their candidate sets from this mask with
+    /// `and`/`andnot` algebra instead of scanning statuses.
+    #[must_use]
+    pub fn alive_mask(&self) -> &BitPlane {
+        &self.alive
     }
 
     /// Number of processes still participating.
     #[must_use]
     pub fn alive_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.status.is_alive()).count()
+        self.alive.count_ones()
     }
 
     /// The message pattern `pid` queued this round, if the world is paused
@@ -337,7 +382,7 @@ impl<P: Process> World<P> {
     /// halted or been failed).
     #[must_use]
     pub fn finished(&self) -> bool {
-        self.slots.iter().all(|s| !s.status.is_alive())
+        self.alive.is_empty()
     }
 
     /// Current decisions, indexed by process.
@@ -432,6 +477,7 @@ impl<P: Process> World<P> {
         debug_assert!(self.scratch.kill_stats.is_empty());
         for (idx, kill) in kills.iter().enumerate() {
             self.slots[kill.victim.index()].status = ProcessStatus::Failed(round);
+            self.alive.clear(kill.victim.index());
             self.scratch.filter_of[kill.victim.index()] = idx as u32;
             self.scratch.kill_stats.push(KillStat {
                 victim: kill.victim,
@@ -442,69 +488,26 @@ impl<P: Process> World<P> {
         }
         self.metrics.on_kills(round, kills.len());
 
-        // Deliver: walk senders in id order so each inbox stays sorted.
-        // Recipient buffers come from the pooled scratch (empty, but with
-        // capacity retained from earlier rounds), so steady-state delivery
-        // allocates nothing.
-        let mut delivered: u64 = 0;
-        let mut suppressed: u64 = 0;
-        {
-            let slots = &self.slots;
-            let outboxes = &mut self.outboxes;
-            let scratch = &mut self.scratch;
-            // Indexing several parallel arrays; an enumerate chain would
-            // obscure it.
-            #[allow(clippy::needless_range_loop)]
-            for s in 0..n {
-                let Some(pattern) = outboxes[s].take() else {
-                    continue;
-                };
-                let sender = ProcessId::new(s);
-                let kill_idx = scratch.filter_of[s];
-                let filter: Option<&DeliveryFilter> = if kill_idx == NO_KILL {
-                    None
-                } else {
-                    Some(&kills[kill_idx as usize].delivered)
-                };
-                let mut sent_here = 0usize;
-                let mut cut_here = 0usize;
-                let inboxes = &mut scratch.inboxes;
-                let mut dispatch = |to: ProcessId, msg: P::Msg| {
-                    let allowed = filter.is_none_or(|f| f.allows(to));
-                    if allowed {
-                        // Dead or halted recipients silently drop mail; the
-                        // message still "arrived" per the reliable-links model.
-                        if slots[to.index()].status.is_alive() {
-                            inboxes[to.index()].push((sender, msg));
-                        }
-                        sent_here += 1;
-                    } else {
-                        cut_here += 1;
-                    }
-                };
-                match pattern {
-                    SendPattern::Broadcast(m) => {
-                        for r in 0..n {
-                            dispatch(ProcessId::new(r), m.clone());
-                        }
-                    }
-                    SendPattern::To(list) => {
-                        for (to, m) in list {
-                            dispatch(to, m);
-                        }
-                    }
-                    SendPattern::Silent => {}
-                }
-                delivered += sent_here as u64;
-                suppressed += cut_here as u64;
-                if kill_idx != NO_KILL {
-                    let stat = &mut scratch.kill_stats[kill_idx as usize];
-                    stat.had_outbox = true;
-                    stat.delivered = sent_here;
-                    stat.suppressed = cut_here;
-                }
-            }
-        }
+        // Pick the round's delivery representation. When every queued
+        // pattern is a broadcast whose payload packs to a bit (or silence),
+        // the round collapses into shared bit planes — one sent bit and one
+        // value bit per sender — instead of n² pairs. Any `To` pattern or
+        // structured payload falls back to the scalar pair path. The two
+        // paths are observationally identical (same inboxes, metrics,
+        // traces, and RNG streams), pinned by the plane/scalar differential
+        // tests; the counters below are the one intentional difference.
+        let plane_round = self.outboxes.iter().flatten().all(|pattern| match pattern {
+            SendPattern::Broadcast(m) => m.pack().is_some(),
+            SendPattern::To(_) => false,
+            SendPattern::Silent => true,
+        });
+        let (delivered, suppressed) = if plane_round {
+            self.telemetry.incr("round.deliver.plane", 1);
+            self.dispatch_plane(kills)
+        } else {
+            self.telemetry.incr("round.deliver.scalar", 1);
+            self.dispatch_scalar(kills)
+        };
         self.metrics.on_delivered(delivered);
         self.metrics.on_suppressed(suppressed);
         // Trace the kills: victims that had an outbox first, in sender-id
@@ -546,26 +549,11 @@ impl<P: Process> World<P> {
         }
         self.scratch.kill_stats.clear();
 
-        // Receives: every still-alive process consumes its inbox. Each
-        // buffer round-trips through the Inbox and returns to the pool.
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..n {
-            if !self.slots[i].status.is_alive() {
-                continue;
-            }
-            let pid = ProcessId::new(i);
-            let inbox = Inbox::from_messages(std::mem::take(&mut self.scratch.inboxes[i]));
-            let mut rng = SimRng::stream(self.seed, pid, round, StreamPhase::Receive);
-            let mut ctx = Context::new(pid, n, round, &mut rng);
-            self.slots[i].proc.receive(&mut ctx, &inbox);
-            let mut buffer = inbox.into_messages();
-            buffer.clear();
-            self.scratch.inboxes[i] = buffer;
-            self.note_decision(pid);
-            if self.slots[i].proc.halted() {
-                self.slots[i].status = ProcessStatus::Halted(round);
-                self.trace.record(|| Event::Halted { pid, round });
-            }
+        // Receives: every still-alive process consumes its inbox.
+        if plane_round {
+            self.receive_plane(round);
+        } else {
+            self.receive_scalar(round);
         }
 
         self.metrics.on_round_completed();
@@ -583,6 +571,248 @@ impl<P: Process> World<P> {
         self.round = round.next();
         self.phase = Phase::BeforeSend;
         Ok(())
+    }
+
+    /// Scalar-path dispatch: walks senders in id order, pushing surviving
+    /// `(sender, message)` pairs into the pooled per-recipient buffers so
+    /// each inbox stays sorted. Returns `(delivered, suppressed)` totals.
+    fn dispatch_scalar(&mut self, kills: &[Kill]) -> (u64, u64) {
+        let n = self.n();
+        let mut delivered: u64 = 0;
+        let mut suppressed: u64 = 0;
+        let slots = &self.slots;
+        let outboxes = &mut self.outboxes;
+        let scratch = &mut self.scratch;
+        // Indexing several parallel arrays; an enumerate chain would
+        // obscure it.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..n {
+            let Some(pattern) = outboxes[s].take() else {
+                continue;
+            };
+            let sender = ProcessId::new(s);
+            let kill_idx = scratch.filter_of[s];
+            let filter: Option<&DeliveryFilter> = if kill_idx == NO_KILL {
+                None
+            } else {
+                Some(&kills[kill_idx as usize].delivered)
+            };
+            let mut sent_here = 0usize;
+            let mut cut_here = 0usize;
+            let inboxes = &mut scratch.inboxes;
+            let mut dispatch = |to: ProcessId, msg: P::Msg| {
+                let allowed = filter.is_none_or(|f| f.allows(to));
+                if allowed {
+                    // Dead or halted recipients silently drop mail; the
+                    // message still "arrived" per the reliable-links model.
+                    if slots[to.index()].status.is_alive() {
+                        inboxes[to.index()].push((sender, msg));
+                    }
+                    sent_here += 1;
+                } else {
+                    cut_here += 1;
+                }
+            };
+            match pattern {
+                SendPattern::Broadcast(m) => {
+                    for r in 0..n {
+                        dispatch(ProcessId::new(r), m.clone());
+                    }
+                }
+                SendPattern::To(list) => {
+                    for (to, m) in list {
+                        dispatch(to, m);
+                    }
+                }
+                SendPattern::Silent => {}
+            }
+            delivered += sent_here as u64;
+            suppressed += cut_here as u64;
+            if kill_idx != NO_KILL {
+                let stat = &mut scratch.kill_stats[kill_idx as usize];
+                stat.had_outbox = true;
+                stat.delivered = sent_here;
+                stat.suppressed = cut_here;
+            }
+        }
+        (delivered, suppressed)
+    }
+
+    /// Plane-path dispatch: every surviving broadcast becomes one bit in
+    /// the shared round planes; partially-filtered kills are recorded as
+    /// exception masks instead of per-pair work. Per-sender accounting
+    /// (delivered/suppressed, kill stats) matches
+    /// [`dispatch_scalar`](Self::dispatch_scalar) exactly — including the
+    /// reliable-links rule that a message to a dead recipient still counts
+    /// as delivered.
+    fn dispatch_plane(&mut self, kills: &[Kill]) -> (u64, u64) {
+        let n = self.n();
+        let mut delivered: u64 = 0;
+        let mut suppressed: u64 = 0;
+        let scratch = &mut self.scratch;
+        debug_assert!(scratch.partials.is_empty());
+        for s in 0..n {
+            let Some(pattern) = self.outboxes[s].take() else {
+                continue;
+            };
+            let kill_idx = scratch.filter_of[s];
+            let bit = match pattern {
+                SendPattern::Broadcast(m) => m.pack(),
+                SendPattern::Silent => None,
+                SendPattern::To(_) => {
+                    unreachable!("plane rounds hold only packable broadcasts and silence")
+                }
+            };
+            let (sent_here, cut_here) = match bit {
+                // A silent sender reaches (and is cut from) no one.
+                None => (0, 0),
+                Some(bit) => {
+                    let filter = if kill_idx == NO_KILL {
+                        None
+                    } else {
+                        Some(&kills[kill_idx as usize].delivered)
+                    };
+                    match filter {
+                        None | Some(DeliveryFilter::All) => {
+                            scratch.sent_base.set(s);
+                            if bit.is_one() {
+                                scratch.ones_base.set(s);
+                            }
+                            (n, 0)
+                        }
+                        Some(DeliveryFilter::None) => (0, n),
+                        Some(DeliveryFilter::To(list)) => {
+                            let mut allowed = take_mask(&mut scratch.mask_pool, n);
+                            for to in list {
+                                if to.index() < n {
+                                    allowed.set(to.index());
+                                }
+                            }
+                            let reach = allowed.count_ones();
+                            scratch.adj_mark.union_with(&allowed);
+                            scratch.partials.push(PartialKill {
+                                sender: s,
+                                one: bit.is_one(),
+                                allowed,
+                            });
+                            (reach, n - reach)
+                        }
+                        Some(DeliveryFilter::Prefix(k)) => {
+                            let reach = (*k).min(n);
+                            let mut allowed = take_mask(&mut scratch.mask_pool, n);
+                            for r in 0..reach {
+                                allowed.set(r);
+                            }
+                            scratch.adj_mark.union_with(&allowed);
+                            scratch.partials.push(PartialKill {
+                                sender: s,
+                                one: bit.is_one(),
+                                allowed,
+                            });
+                            (reach, n - reach)
+                        }
+                    }
+                }
+            };
+            delivered += sent_here as u64;
+            suppressed += cut_here as u64;
+            if kill_idx != NO_KILL {
+                let stat = &mut scratch.kill_stats[kill_idx as usize];
+                stat.had_outbox = true;
+                stat.delivered = sent_here;
+                stat.suppressed = cut_here;
+            }
+        }
+        (delivered, suppressed)
+    }
+
+    /// Scalar-path receives: each alive process consumes its pair buffer,
+    /// which round-trips through the [`Inbox`] and returns to the pool.
+    fn receive_scalar(&mut self, round: Round) {
+        let n = self.n();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if !self.slots[i].status.is_alive() {
+                continue;
+            }
+            let pid = ProcessId::new(i);
+            let inbox = Inbox::from_messages(std::mem::take(&mut self.scratch.inboxes[i]));
+            let mut rng = SimRng::stream(self.seed, pid, round, StreamPhase::Receive);
+            let mut ctx = Context::new(pid, n, round, &mut rng);
+            self.slots[i].proc.receive(&mut ctx, &inbox);
+            let mut buffer = inbox.into_messages();
+            buffer.clear();
+            self.scratch.inboxes[i] = buffer;
+            self.note_decision(pid);
+            if self.slots[i].proc.halted() {
+                self.slots[i].status = ProcessStatus::Halted(round);
+                self.alive.clear(i);
+                self.trace.record(|| Event::Halted { pid, round });
+            }
+        }
+    }
+
+    /// Plane-path receives: all alive processes share one plane-backed
+    /// inbox built from the round planes; recipients named by a partial
+    /// kill get a pooled adjusted copy with the extra sender bits set.
+    /// Visit order, RNG streams, and halt/decision bookkeeping match
+    /// [`receive_scalar`](Self::receive_scalar) exactly.
+    fn receive_plane(&mut self, round: Round) {
+        let n = self.n();
+        let sent = std::mem::take(&mut self.scratch.sent_base);
+        let ones = std::mem::take(&mut self.scratch.ones_base);
+        let base: Inbox<P::Msg> = Inbox::from_plane(sent, ones);
+        for i in 0..n {
+            if !self.slots[i].status.is_alive() {
+                continue;
+            }
+            let pid = ProcessId::new(i);
+            let mut rng = SimRng::stream(self.seed, pid, round, StreamPhase::Receive);
+            let mut ctx = Context::new(pid, n, round, &mut rng);
+            if self.scratch.adj_mark.get(i) {
+                let mut adj_sent = std::mem::take(&mut self.scratch.adj_sent);
+                let mut adj_ones = std::mem::take(&mut self.scratch.adj_ones);
+                let (base_sent, base_ones) = base.planes().expect("base inbox is plane-backed");
+                adj_sent.copy_from(base_sent);
+                adj_ones.copy_from(base_ones);
+                for partial in &self.scratch.partials {
+                    if partial.allowed.get(i) {
+                        adj_sent.set(partial.sender);
+                        if partial.one {
+                            adj_ones.set(partial.sender);
+                        }
+                    }
+                }
+                let adjusted: Inbox<P::Msg> = Inbox::from_plane(adj_sent, adj_ones);
+                self.slots[i].proc.receive(&mut ctx, &adjusted);
+                let (s, o) = adjusted
+                    .into_planes()
+                    .expect("adjusted inbox is plane-backed");
+                self.scratch.adj_sent = s;
+                self.scratch.adj_ones = o;
+            } else {
+                self.slots[i].proc.receive(&mut ctx, &base);
+            }
+            self.note_decision(pid);
+            if self.slots[i].proc.halted() {
+                self.slots[i].status = ProcessStatus::Halted(round);
+                self.alive.clear(i);
+                self.trace.record(|| Event::Halted { pid, round });
+            }
+        }
+        // Restore the scratch invariant: planes cleared and returned to the
+        // pool, exception masks recycled.
+        let (mut sent, mut ones) = base.into_planes().expect("base inbox is plane-backed");
+        sent.clear_all();
+        ones.clear_all();
+        self.scratch.sent_base = sent;
+        self.scratch.ones_base = ones;
+        self.scratch.adj_mark.clear_all();
+        while let Some(partial) = self.scratch.partials.pop() {
+            let mut mask = partial.allowed;
+            mask.clear_all();
+            self.scratch.mask_pool.push(mask);
+        }
     }
 
     /// Drives the world to completion under `adversary`.
@@ -718,6 +948,11 @@ where
         copy.cfg = self.cfg.clone().max_rounds(limit.max(self.round.index()));
         copy
     }
+}
+
+/// Pops a cleared, width-`n` allowed-mask plane from the pool, or makes one.
+fn take_mask(pool: &mut Vec<BitPlane>, n: usize) -> BitPlane {
+    pool.pop().unwrap_or_else(|| BitPlane::new(n))
 }
 
 fn validate_pattern<M>(

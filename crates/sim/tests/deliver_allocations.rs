@@ -9,8 +9,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use synran_sim::testing::CountDown;
-use synran_sim::{Bit, Intervention, SimConfig, World};
+use synran_sim::testing::{CountDown, Opaque};
+use synran_sim::{Bit, Context, Inbox, Intervention, Process, SendPattern, SimConfig, World};
 
 thread_local! {
     /// Allocations + reallocations made by *this* thread.
@@ -54,17 +54,41 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_rounds_allocate_nothing() {
-    let n = 32;
-    let rounds = 60u32;
-    let mut world = World::new(SimConfig::new(n).seed(11), |_| {
-        CountDown::new(rounds, Bit::One)
-    })
-    .expect("valid config");
+/// `CountDown` with a payload that never bit-packs: the engine is forced
+/// onto the scalar pair path. Reads only the inbox length, so any
+/// allocation measured below is the engine's, not the process's.
+#[derive(Debug, Clone)]
+struct OpaqueCountDown {
+    remaining: u32,
+    last_inbox_len: usize,
+}
 
-    // Warm-up: the pooled inbox buffers grow to their steady-state
-    // capacity during the first few broadcast rounds.
+impl Process for OpaqueCountDown {
+    type Msg = Opaque<Bit>;
+
+    fn send(&mut self, _ctx: &mut Context<'_>) -> SendPattern<Opaque<Bit>> {
+        SendPattern::Broadcast(Opaque(Bit::One))
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, inbox: &Inbox<Opaque<Bit>>) {
+        self.last_inbox_len = inbox.len();
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        (self.remaining == 0).then_some(Bit::One)
+    }
+
+    fn halted(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Runs 5 warm-up rounds then measures 50 steady-state rounds of `world`,
+/// asserting the engine performed zero heap allocations.
+fn assert_steady_state_alloc_free<P: Process>(world: &mut World<P>, label: &str) {
+    // Warm-up: the pooled buffers (pair inboxes or bit planes) grow to
+    // their steady-state capacity during the first few broadcast rounds.
     for _ in 0..5 {
         world.phase_a().expect("phase A");
         world.deliver(Intervention::none()).expect("deliver");
@@ -80,6 +104,53 @@ fn steady_state_rounds_allocate_nothing() {
     assert_eq!(
         after - before,
         0,
-        "expected zero allocations across 50 warm rounds of n={n} broadcast"
+        "expected zero allocations across 50 warm {label} rounds"
     );
+}
+
+#[test]
+fn steady_state_plane_rounds_allocate_nothing() {
+    // `CountDown` broadcasts `Bit`s, which pack: these rounds ride the
+    // bit-plane fast path.
+    let n = 32;
+    let mut world =
+        World::new(SimConfig::new(n).seed(11), |_| CountDown::new(60, Bit::One)).expect("config");
+    assert_steady_state_alloc_free(&mut world, "plane-path broadcast");
+}
+
+#[test]
+fn steady_state_scalar_rounds_allocate_nothing() {
+    // `Opaque` payloads never pack: the same rounds take the scalar pair
+    // path, whose recycled `Vec` pools must stay allocation-free too.
+    let n = 32;
+    let mut world = World::new(SimConfig::new(n).seed(11), |_| OpaqueCountDown {
+        remaining: 60,
+        last_inbox_len: 0,
+    })
+    .expect("config");
+    assert_steady_state_alloc_free(&mut world, "scalar-path broadcast");
+}
+
+#[test]
+fn broadcast_bit_rounds_never_fall_back_to_the_scalar_path() {
+    use synran_sim::telemetry::{Telemetry, TelemetryMode};
+    let hub = Telemetry::new(TelemetryMode::Counters);
+    let n = 16;
+    let rounds = 25u32;
+    let mut world = World::new(SimConfig::new(n).seed(3), |_| {
+        CountDown::new(rounds, Bit::Zero)
+    })
+    .expect("config");
+    world.set_telemetry(hub.clone());
+    for _ in 0..rounds {
+        world.phase_a().expect("phase A");
+        world.deliver(Intervention::none()).expect("deliver");
+    }
+    let snap = hub.snapshot();
+    assert_eq!(
+        snap.counter("round.deliver.plane"),
+        Some(u64::from(rounds)),
+        "every broadcast-Bit round must engage the plane fast path"
+    );
+    assert_eq!(snap.counter("round.deliver.scalar"), None);
 }

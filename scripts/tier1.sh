@@ -42,12 +42,23 @@ else
     echo "telemetry JSONL OK: $(wc -l < "$telemetry_out") events (grep check)"
 fi
 
+echo "== tier1: bit-plane delivery smoke test =="
+# The plane fast path must beat the scalar pair path and stay
+# byte-identical to the scalarized oracle at threads 1, 2, and 8 (the
+# binary asserts both and exits non-zero on divergence).
+plane_out="$(mktemp /tmp/synran-bench-plane.XXXXXX.json)"
+trap 'rm -f "$telemetry_out" "$plane_out"' EXIT
+./target/release/bench_plane --smoke --out "$plane_out" >/dev/null
+grep -q '"identical": true' "$plane_out" \
+    || { echo "plane/scalar differential failed"; exit 1; }
+echo "bit-plane smoke OK: plane path identical to scalar oracle"
+
 echo "== tier1: campaign smoke test =="
 # End-to-end contract of the campaign engine: run a small grid campaign,
 # simulate a crash by truncating the journal mid-file, resume at a
 # different thread count, and require byte-identical rendered output.
 campaign_dir="$(mktemp -d /tmp/synran-campaign.XXXXXX)"
-trap 'rm -f "$telemetry_out"; rm -rf "$campaign_dir"' EXIT
+trap 'rm -f "$telemetry_out" "$plane_out"; rm -rf "$campaign_dir"' EXIT
 cat > "$campaign_dir/smoke.campaign" <<'EOF'
 campaign  = smoke
 adversary = balancer

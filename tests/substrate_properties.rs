@@ -197,9 +197,9 @@ fn inbox_invariants() {
         assert_eq!(inbox.len(), senders.len(), "case {case}");
         let mut last = None;
         for (s, m) in inbox.iter() {
-            assert!(last.is_none_or(|l| l < *s), "case {case}: not ascending");
-            assert_eq!(inbox.from(*s), Some(m));
-            last = Some(*s);
+            assert!(last.is_none_or(|l| l < s), "case {case}: not ascending");
+            assert_eq!(inbox.from(s), Some(m));
+            last = Some(s);
         }
         assert_eq!(
             inbox.count_where(|m| m.is_one()),
