@@ -269,8 +269,8 @@ pub fn estimate_valency<P>(
     seed: u64,
 ) -> Result<ValencyEstimate, SimError>
 where
-    P: Process + Clone + Sync,
-    P::Msg: Sync,
+    P: Process + Clone + Send + Sync,
+    P::Msg: Send + Sync,
 {
     assert!(!probes.is_empty(), "need at least one probe");
     assert!(samples > 0, "need at least one sample per probe");
@@ -307,7 +307,13 @@ where
                         None => (0.5, true),
                     })
                 }
-                Err(SimError::MaxRoundsExceeded { .. }) => Ok((0.5, true)),
+                Err(SimError::MaxRoundsExceeded { .. }) => {
+                    // Horizon hit: the fork is abandoned, but its warmed
+                    // scratch goes back to the snapshot pool for the next
+                    // sample to re-use.
+                    fork.retire();
+                    Ok((0.5, true))
+                }
                 Err(other) => Err(other),
             }
         },

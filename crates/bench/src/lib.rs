@@ -153,6 +153,18 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// The `--threads` knob, resolved through the simulator's clamp:
+    /// `0` (or absent) means "all available cores", and explicit requests
+    /// are capped at the machine's available parallelism (floor 2), so
+    /// `--threads 100000` oversubscription cannot start more workers than
+    /// the machine can run.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        synran_sim::parallel::resolve_threads(
+            self.get_usize("threads", synran_sim::parallel::AUTO_THREADS),
+        )
+    }
 }
 
 /// Prints an experiment banner with its DESIGN.md id and the claim under
@@ -239,5 +251,34 @@ mod tests {
     fn bad_i64_panics() {
         let a = Args::parse(["--bias", "1.5"].map(String::from));
         let _ = a.get_i64("bias", 0);
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_available_parallelism() {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let a = Args::parse(["--threads", "0"].map(String::from));
+        assert_eq!(a.threads(), available, "--threads 0 means auto");
+        let absent = Args::parse(std::iter::empty());
+        assert_eq!(absent.threads(), available, "absent knob means auto too");
+    }
+
+    #[test]
+    fn threads_oversubscription_is_clamped_to_the_machine() {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let a = Args::parse(["--threads", "100000"].map(String::from));
+        assert_eq!(
+            a.threads(),
+            available.max(2),
+            "oversubscription clamps to available cores (floor 2)"
+        );
+        assert!(a.threads() <= available.max(2));
+    }
+
+    #[test]
+    fn small_explicit_thread_requests_pass_through() {
+        let one = Args::parse(["--threads", "1"].map(String::from));
+        assert_eq!(one.threads(), 1, "serial stays serial");
+        let two = Args::parse(["--threads", "2"].map(String::from));
+        assert_eq!(two.threads(), 2, "within the clamp floor");
     }
 }

@@ -11,6 +11,12 @@
 //! one in-flight wave, and the journal's line order is itself a pure
 //! function of the cell list (never of scheduling).
 //!
+//! Waves dispatch onto the persistent worker pool in
+//! [`synran_sim::parallel`]: the helper threads are spawned by the first
+//! wave and re-used by every later wave (and by any nested fan-out a cell
+//! performs — nested dispatches fall back inline, deterministically), so
+//! a thousand-wave campaign pays thread-spawn cost exactly once.
+//!
 //! Cells already present in the cache — from this campaign's journal, or
 //! imported from another's — are skipped and their recorded results
 //! spliced into the fold.

@@ -180,8 +180,13 @@ mod tests {
         assert_eq!(cfg.seed_value(), 9);
         assert_eq!(cfg.max_rounds_value(), 77);
         assert!(cfg.trace_enabled());
-        assert_eq!(cfg.threads_value(), 3);
-        assert_eq!(cfg.resolved_threads(), 3);
+        assert_eq!(cfg.threads_value(), 3, "the request is stored verbatim");
+        assert_eq!(
+            cfg.resolved_threads(),
+            crate::parallel::resolve_threads(3),
+            "resolution applies the oversubscription clamp"
+        );
+        assert!(cfg.resolved_threads() >= 2, "clamp floor keeps parallelism");
         cfg.validate().unwrap();
     }
 

@@ -56,7 +56,12 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool in [`parallel`]
+// needs two narrowly-scoped `unsafe` idioms (a lifetime-erased task pointer
+// parked threads can hold, and disjoint-slot output writes). Those items
+// carry `#[allow(unsafe_code)]` plus SAFETY notes; everything else in the
+// crate still refuses `unsafe` at compile time.
+#![deny(unsafe_code)]
 
 mod adversary;
 mod bit;
@@ -92,4 +97,4 @@ pub use telemetry::{
     JsonlSink, MemorySink, Telemetry, TelemetryEvent, TelemetryMode, TelemetrySink,
 };
 pub use trace::{Event, Trace};
-pub use world::{ProcessStatus, World};
+pub use world::{ProcessStatus, World, WorldSnapshot};

@@ -1,5 +1,7 @@
 //! The synchronous world: round engine, fault enforcement, and forking.
 
+use std::sync::{Arc, Mutex, PoisonError};
+
 use crate::{
     telemetry::per_round_kill_cap, trace::Event, Adversary, Bit, BitPlane, Context, DeliveryFilter,
     FaultBudget, Inbox, Intervention, Kill, Metrics, PlaneMsg, Process, ProcessId, Round,
@@ -138,6 +140,47 @@ impl<M> RoundScratch<M> {
     }
 }
 
+/// Retired [`RoundScratch`] buffers queued for re-use by future forks of
+/// one [`WorldSnapshot`].
+///
+/// The scratch invariant (clean between `deliver` calls) is what makes
+/// recycling sound: a warmed-up scratch and a fresh one are observationally
+/// interchangeable, differing only in the capacity of their pooled buffers.
+/// So a fork that inherits another fork's scratch computes bit-identical
+/// results — it just skips re-growing the buffers.
+#[derive(Debug)]
+struct ScratchPool<M> {
+    pool: Mutex<Vec<RoundScratch<M>>>,
+}
+
+/// Retired scratches kept per snapshot. Bounds memory when far more forks
+/// retire than run concurrently; beyond the cap, scratches just drop.
+const SCRATCH_POOL_CAP: usize = 64;
+
+impl<M> ScratchPool<M> {
+    fn empty() -> ScratchPool<M> {
+        ScratchPool {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a recycled scratch, or builds a fresh width-`n` one.
+    fn take(&self, n: usize) -> RoundScratch<M> {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(|| RoundScratch::new(n))
+    }
+
+    fn put(&self, scratch: RoundScratch<M>) {
+        let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    }
+}
+
 /// A complete synchronous execution in progress.
 ///
 /// The world is an explicit state machine so that adversaries can pause it
@@ -165,7 +208,10 @@ impl<M> RoundScratch<M> {
 /// ```
 #[derive(Debug)]
 pub struct World<P: Process> {
-    cfg: SimConfig,
+    /// Shared, not owned: forks and snapshots of this world bump the `Arc`
+    /// instead of cloning the config (copy-on-write — the only mutation,
+    /// [`World::fork_bounded`] tightening `max_rounds`, makes a new `Arc`).
+    cfg: Arc<SimConfig>,
     round: Round,
     phase: Phase,
     slots: Vec<Slot<P>>,
@@ -180,6 +226,10 @@ pub struct World<P: Process> {
     /// candidate-mask algebra) are popcounts instead of status scans.
     alive: BitPlane,
     scratch: RoundScratch<P::Msg>,
+    /// Where `scratch` returns when this world retires (snapshot forks
+    /// only): [`World::into_report`] and [`World::retire`] push it back so
+    /// the next fork inherits warmed-up buffers.
+    scratch_home: Option<Arc<ScratchPool<P::Msg>>>,
 }
 
 impl<P> Clone for World<P>
@@ -192,7 +242,7 @@ where
     /// observable, and it keeps mid-estimation forks cheap.
     fn clone(&self) -> World<P> {
         World {
-            cfg: self.cfg.clone(),
+            cfg: Arc::clone(&self.cfg),
             round: self.round,
             phase: self.phase,
             slots: self.slots.clone(),
@@ -204,6 +254,7 @@ where
             seed: self.seed,
             alive: self.alive.clone(),
             scratch: RoundScratch::new(self.cfg.n()),
+            scratch_home: None,
         }
     }
 }
@@ -245,7 +296,8 @@ impl<P: Process> World<P> {
             slots,
             alive: BitPlane::full(n),
             scratch: RoundScratch::new(n),
-            cfg,
+            scratch_home: None,
+            cfg: Arc::new(cfg),
         })
     }
 
@@ -883,13 +935,33 @@ impl<P: Process> World<P> {
     /// world is not needed afterwards — on traced runs this skips copying
     /// the entire event log.
     #[must_use]
-    pub fn into_report(self) -> RunReport {
+    pub fn into_report(mut self) -> RunReport {
+        self.recycle_scratch();
         RunReport::new(
             self.slots.iter().map(|s| s.proc.decision()).collect(),
             self.slots.iter().map(|s| s.status).collect(),
             self.metrics,
             self.trace,
         )
+    }
+
+    /// Discards this world, returning its scratch buffers to the snapshot
+    /// pool they came from (if any).
+    ///
+    /// Call this instead of plain `drop` on error paths that abandon a
+    /// snapshot fork without [`into_report`](World::into_report) — e.g. a
+    /// valency probe that hit its horizon — so the next fork from the same
+    /// snapshot inherits the warmed-up buffers.
+    pub fn retire(mut self) {
+        self.recycle_scratch();
+    }
+
+    /// Pushes the (clean, by invariant) scratch back to its home pool,
+    /// leaving a zero-width placeholder behind.
+    fn recycle_scratch(&mut self) {
+        if let Some(home) = self.scratch_home.take() {
+            home.put(std::mem::replace(&mut self.scratch, RoundScratch::new(0)));
+        }
     }
 
     fn note_decision(&mut self, pid: ProcessId) {
@@ -919,15 +991,25 @@ where
     /// distribution of decisions.
     #[must_use]
     pub fn fork(&self, seed: u64) -> World<P> {
-        let mut copy = self.clone();
-        copy.seed = seed;
-        // Forked futures are throwaway explorations; tracing them would
-        // dominate memory in valency estimation, and telemetry from
-        // thousands of probe forks would drown the parent's signal — the
-        // estimators count probe outcomes themselves instead.
-        copy.trace = Trace::disabled();
-        copy.telemetry = Telemetry::off();
-        copy
+        World {
+            cfg: Arc::clone(&self.cfg),
+            round: self.round,
+            phase: self.phase,
+            slots: self.slots.clone(),
+            outboxes: self.outboxes.clone(),
+            budget: self.budget,
+            metrics: self.metrics.clone(),
+            // Forked futures are throwaway explorations; tracing them would
+            // dominate memory in valency estimation, and telemetry from
+            // thousands of probe forks would drown the parent's signal — the
+            // estimators count probe outcomes themselves instead.
+            trace: Trace::disabled(),
+            telemetry: Telemetry::off(),
+            seed,
+            alive: self.alive.clone(),
+            scratch: RoundScratch::new(self.cfg.n()),
+            scratch_home: None,
+        }
     }
 
     /// Like [`fork`](World::fork), but the copy's round limit is capped at
@@ -940,13 +1022,177 @@ where
     #[must_use]
     pub fn fork_bounded(&self, seed: u64, horizon: u32) -> World<P> {
         let mut copy = self.fork(seed);
-        let limit = self
-            .round
-            .index()
-            .saturating_add(horizon)
-            .min(self.cfg.max_rounds_value());
-        copy.cfg = self.cfg.clone().max_rounds(limit.max(self.round.index()));
+        copy.cfg = bounded_cfg(&self.cfg, self.round, horizon);
         copy
+    }
+
+    /// Condenses the paused world into a copy-on-write [`WorldSnapshot`]
+    /// that many forks can be cut from cheaply.
+    ///
+    /// Equivalent to calling [`fork`](World::fork) per seed — forks from
+    /// the snapshot and forks from the world are byte-identical — but the
+    /// immutable bulk (config, process baseline, queued outboxes, metrics,
+    /// liveness plane) is captured once behind an `Arc` and shared by
+    /// every fork, and retired forks recycle their warmed-up round-scratch
+    /// buffers through the snapshot instead of each fork growing its own.
+    #[must_use]
+    pub fn snapshot(&self) -> WorldSnapshot<P> {
+        self.snapshot_with(Arc::clone(&self.cfg))
+    }
+
+    /// [`snapshot`](World::snapshot) with the fork round limit capped at
+    /// `horizon` rounds past the current round, mirroring
+    /// [`fork_bounded`](World::fork_bounded).
+    #[must_use]
+    pub fn snapshot_bounded(&self, horizon: u32) -> WorldSnapshot<P> {
+        self.snapshot_with(bounded_cfg(&self.cfg, self.round, horizon))
+    }
+
+    fn snapshot_with(&self, cfg: Arc<SimConfig>) -> WorldSnapshot<P> {
+        WorldSnapshot {
+            inner: Arc::new(SnapshotInner {
+                cfg,
+                round: self.round,
+                phase: self.phase,
+                slots: self.slots.clone(),
+                outboxes: self.outboxes.clone(),
+                budget: self.budget,
+                metrics: self.metrics.clone(),
+                alive: self.alive.clone(),
+                scratch: Arc::new(ScratchPool::empty()),
+            }),
+        }
+    }
+}
+
+/// The fork config for a `horizon`-bounded exploration from `round`:
+/// shares `cfg`'s `Arc` when the horizon does not actually tighten the
+/// round limit, and copies-on-write otherwise.
+fn bounded_cfg(cfg: &Arc<SimConfig>, round: Round, horizon: u32) -> Arc<SimConfig> {
+    let limit = round
+        .index()
+        .saturating_add(horizon)
+        .min(cfg.max_rounds_value())
+        .max(round.index());
+    if limit == cfg.max_rounds_value() {
+        Arc::clone(cfg)
+    } else {
+        Arc::new(cfg.as_ref().clone().max_rounds(limit))
+    }
+}
+
+/// The shared, immutable bulk of a paused [`World`], captured once per
+/// [`World::snapshot`] call and referenced by every fork cut from it.
+#[derive(Debug)]
+struct SnapshotInner<P: Process> {
+    cfg: Arc<SimConfig>,
+    round: Round,
+    phase: Phase,
+    slots: Vec<Slot<P>>,
+    outboxes: Vec<Option<SendPattern<P::Msg>>>,
+    budget: FaultBudget,
+    metrics: Metrics,
+    alive: BitPlane,
+    /// Scratch buffers retired forks leave behind for future forks.
+    scratch: Arc<ScratchPool<P::Msg>>,
+}
+
+/// A copy-on-write capture of a paused [`World`], built by
+/// [`World::snapshot`] / [`World::snapshot_bounded`].
+///
+/// The snapshot owns one immutable copy of the world's bulk state behind
+/// an `Arc`; [`WorldSnapshot::fork`] cuts a mutable [`World`] from it by
+/// cloning only the per-fork delta (process slots and queued outboxes —
+/// the state a resumed execution mutates) and borrowing a pooled round
+/// scratch. Cloning the snapshot itself is an `Arc` bump, so one snapshot
+/// can be shared across the worker pool for a whole `probes × samples`
+/// estimation pass.
+///
+/// # Equivalence invariant
+///
+/// `snapshot().fork(s)` is observationally identical to `fork(s)` on the
+/// world the snapshot was taken from: same processes, statuses, outboxes,
+/// budget, metrics, round position, and — because future coins depend only
+/// on `(seed, round, phase)` — the same execution under any adversary.
+/// Recycled scratch preserves this because scratch is clean between
+/// rounds by invariant; a warmed buffer differs from a fresh one only in
+/// capacity.
+pub struct WorldSnapshot<P: Process> {
+    inner: Arc<SnapshotInner<P>>,
+}
+
+impl<P: Process> std::fmt::Debug for WorldSnapshot<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldSnapshot")
+            .field("n", &self.inner.cfg.n())
+            .field("round", &self.inner.round)
+            .field("phase", &self.inner.phase.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Process> Clone for WorldSnapshot<P> {
+    fn clone(&self) -> WorldSnapshot<P> {
+        WorldSnapshot {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<P> WorldSnapshot<P>
+where
+    P: Process + Clone,
+    P::Msg: Clone,
+{
+    /// Cuts a runnable fork from the snapshot, rebasing all *future*
+    /// randomness on `seed` — the copy-on-write equivalent of
+    /// [`World::fork`] on the snapshotted world.
+    ///
+    /// The fork is detached (no trace, no telemetry) like any fork. When
+    /// it retires through [`World::into_report`] or [`World::retire`], its
+    /// round-scratch buffers return to this snapshot's pool for the next
+    /// fork to re-use.
+    #[must_use]
+    pub fn fork(&self, seed: u64) -> World<P> {
+        let inner = &*self.inner;
+        World {
+            cfg: Arc::clone(&inner.cfg),
+            round: inner.round,
+            phase: inner.phase,
+            slots: inner.slots.clone(),
+            outboxes: inner.outboxes.clone(),
+            budget: inner.budget,
+            metrics: inner.metrics.clone(),
+            trace: Trace::disabled(),
+            telemetry: Telemetry::off(),
+            seed,
+            alive: inner.alive.clone(),
+            scratch: inner.scratch.take(inner.cfg.n()),
+            scratch_home: Some(Arc::clone(&inner.scratch)),
+        }
+    }
+
+    /// System size `n` of the snapshotted world.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inner.cfg.n()
+    }
+
+    /// The round the snapshotted world was paused at.
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.inner.round
+    }
+
+    /// Scratch buffers currently parked in the snapshot's recycling pool.
+    #[must_use]
+    pub fn pooled_scratches(&self) -> usize {
+        self.inner
+            .scratch
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 

@@ -53,12 +53,29 @@ grep -q '"identical": true' "$plane_out" \
     || { echo "plane/scalar differential failed"; exit 1; }
 echo "bit-plane smoke OK: plane path identical to scalar oracle"
 
+echo "== tier1: worker-pool parallel smoke test =="
+# The persistent-pool fan-out must stay byte-identical to serial at
+# threads 1, 2, and 8 on every row (valency estimation, seed batches,
+# tiny batches), and the pool must re-use helpers rather than spawn per
+# call (the binary asserts both and exits non-zero on violation). Run in
+# a scratch dir so the smoke artifacts never clobber the repo baselines.
+pool_dir="$(mktemp -d /tmp/synran-bench-parallel.XXXXXX)"
+trap 'rm -f "$telemetry_out" "$plane_out"; rm -rf "$pool_dir"' EXIT
+(cd "$pool_dir" && "$OLDPWD/target/release/bench_parallel" --smoke --out pool.json >/dev/null)
+rows="$(grep -c '"group"' "$pool_dir/pool.json")"
+matches="$(grep -c '"identical": true' "$pool_dir/pool.json")"
+[ "$rows" -gt 0 ] && [ "$rows" -eq "$matches" ] \
+    || { echo "worker-pool differential failed: $matches/$rows rows identical"; exit 1; }
+grep -q '"reused_gt_spawned": true' "$pool_dir/pool.json" \
+    || { echo "pool did not re-use threads across batches"; exit 1; }
+echo "worker-pool smoke OK: $rows/$rows rows identical at threads {1,2,8}, pool re-used"
+
 echo "== tier1: campaign smoke test =="
 # End-to-end contract of the campaign engine: run a small grid campaign,
 # simulate a crash by truncating the journal mid-file, resume at a
 # different thread count, and require byte-identical rendered output.
 campaign_dir="$(mktemp -d /tmp/synran-campaign.XXXXXX)"
-trap 'rm -f "$telemetry_out" "$plane_out"; rm -rf "$campaign_dir"' EXIT
+trap 'rm -f "$telemetry_out" "$plane_out"; rm -rf "$pool_dir" "$campaign_dir"' EXIT
 cat > "$campaign_dir/smoke.campaign" <<'EOF'
 campaign  = smoke
 adversary = balancer
