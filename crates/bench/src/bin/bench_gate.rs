@@ -1,0 +1,98 @@
+//! `bench_gate` — the CLI of the perf-regression gate
+//! ([`synran_bench::gate`]).
+//!
+//! ```text
+//! bench_gate compare <baseline.json> <fresh.json> [--max-regress <pct>]
+//! bench_gate scale   <in.json> <out.json> <factor>
+//! ```
+//!
+//! `compare` exits nonzero when any time-like metric in the baseline
+//! regressed beyond the limit (default 25%), is missing from the fresh
+//! file, or a baseline `true` boolean flipped. `scale` writes a copy of a
+//! bench JSON with every time-like value multiplied by `<factor>` — the
+//! synthetic regression `scripts/bench_gate.sh --smoke` uses to prove the
+//! gate actually fails.
+
+use std::process::ExitCode;
+
+use synran_bench::gate::{compare, parse_json, scale_times, to_string};
+
+const USAGE: &str = "\
+bench_gate — compare fresh bench JSON against a committed baseline
+
+USAGE:
+  bench_gate compare <baseline.json> <fresh.json> [--max-regress <pct>]
+  bench_gate scale   <in.json> <out.json> <factor>";
+
+fn read_json(path: &str) -> Result<synran_bench::gate::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("compare") => {
+            let [baseline_path, fresh_path] = args.get(1..3).map_or(
+                Err("compare expects <baseline.json> <fresh.json>".to_string()),
+                |paths| Ok([&paths[0], &paths[1]]),
+            )?;
+            let mut max_regress = 25.0;
+            if let Some(i) = args.iter().position(|a| a == "--max-regress") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--max-regress expects a percentage")?;
+                max_regress = value
+                    .parse()
+                    .map_err(|_| format!("--max-regress: not a number: {value}"))?;
+            }
+            let baseline = read_json(baseline_path)?;
+            let fresh = read_json(fresh_path)?;
+            let outcome = compare(&baseline, &fresh, max_regress);
+            for line in &outcome.lines {
+                println!("{line}");
+            }
+            if outcome.passed() {
+                println!(
+                    "gate: ok ({} time metrics within +{max_regress:.0}%)",
+                    outcome.lines.len()
+                );
+                Ok(())
+            } else {
+                let mut msg = String::from("bench gate failed:\n");
+                for failure in &outcome.failures {
+                    msg.push_str("  ");
+                    msg.push_str(failure);
+                    msg.push('\n');
+                }
+                Err(msg)
+            }
+        }
+        Some("scale") => {
+            let (input, output, factor) = match args.get(1..4) {
+                Some([input, output, factor]) => (input, output, factor),
+                _ => return Err("scale expects <in.json> <out.json> <factor>".to_string()),
+            };
+            let factor: f64 = factor
+                .parse()
+                .map_err(|_| format!("factor: not a number: {factor}"))?;
+            let mut json = read_json(input)?;
+            scale_times(&mut json, factor);
+            std::fs::write(output, to_string(&json) + "\n")
+                .map_err(|e| format!("{output}: {e}"))?;
+            println!("wrote {output} (time metrics x{factor})");
+            Ok(())
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,6 +5,11 @@
 //! `synran_lab::presets::e3`, shared byte-for-byte with
 //! `synran campaign run campaigns/e3.campaign`. The wrapper only maps
 //! CLI knobs onto [`E3Params`] and picks the thread count.
+//!
+//! Telemetry defaults to `spans` so the committed
+//! `results/e3_lower_bound.telemetry.jsonl` carries the span tree
+//! `synran report --format folded` aggregates; `--telemetry counters`
+//! (or `off`) restores the lighter modes.
 
 use synran_bench::Args;
 use synran_lab::presets::e3::{self, E3Params};
@@ -13,6 +18,11 @@ use synran_sim::{Telemetry, TelemetryMode};
 
 fn main() {
     let args = Args::from_env();
+    let mode: TelemetryMode = args
+        .get("telemetry")
+        .unwrap_or("spans")
+        .parse()
+        .expect("--telemetry");
     let params = E3Params {
         sizes: if args.flag("fast") {
             vec![16, 24]
@@ -23,9 +33,6 @@ fn main() {
         samples: args.get_usize("samples", 3),
         seed: args.get_u64("seed", 3),
     };
-    let mut engine = Engine::new(
-        args.get_usize("threads", 0),
-        Telemetry::new(TelemetryMode::Counters),
-    );
+    let mut engine = Engine::new(args.get_usize("threads", 0), Telemetry::new(mode));
     e3::run(&params, &mut engine, &mut std::io::stdout().lock()).expect("e3 failed");
 }

@@ -1,0 +1,502 @@
+//! The perf-regression gate: compare a fresh `BENCH_*.json` against the
+//! committed baseline and fail on phase-level regressions.
+//!
+//! `scripts/bench_gate.sh` drives this through the `bench_gate` binary:
+//!
+//! ```text
+//! bench_gate compare BENCH_parallel.json /tmp/fresh.json --max-regress 25
+//! bench_gate scale   BENCH_parallel.json /tmp/slow.json  1.5
+//! ```
+//!
+//! The comparison is structural, not positional: every `BENCH_*.json` is
+//! flattened into `path → metric` pairs where array elements are labeled
+//! by their `group` / `path` / `name` field (so reordering rows cannot
+//! produce false deltas), and only **time-like** metrics — keys ending in
+//! `_ms`, `_ns`, or named `ms` — are gated. A fresh value more than
+//! `max_regress` percent above baseline fails, as does a time-like
+//! baseline metric missing from the fresh file, or a baseline `true`
+//! boolean (e.g. `identical`, `reused_gt_spawned`) turning `false`.
+//!
+//! `scale` synthesizes a regressed file by multiplying every time-like
+//! value by a factor — the negative control proving the gate has teeth
+//! (exercised by `bench_gate.sh --smoke` in tier-1).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A minimal JSON value — just enough for the `BENCH_*.json` family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid token at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    other => other as char,
+                });
+            }
+            _ => out.push(b as char),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Serializes `json` compactly (used by [`scale_times`] output).
+#[must_use]
+pub fn to_string(json: &Json) -> String {
+    let mut out = String::new();
+    write_json(json, &mut out);
+    out
+}
+
+fn write_json(json: &Json, out: &mut String) {
+    match json {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Num(x) => {
+            // Integral values print without a fraction, mirroring the
+            // generators' output.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                let _ = write!(out, "{}", *x as i64);
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Json::Str(s) => {
+            let _ = write!(out, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""));
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{key}\":");
+                write_json(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// One flattened leaf metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// A numeric leaf.
+    Num(f64),
+    /// A boolean leaf.
+    Bool(bool),
+}
+
+/// `true` for keys the gate treats as wall-clock measurements.
+#[must_use]
+pub fn is_time_key(key: &str) -> bool {
+    key.ends_with("_ms") || key.ends_with("_ns") || key == "ms" || key.ends_with(".ms")
+}
+
+/// Flattens `json` into `path → metric` pairs. Object fields join with
+/// `.`; array elements are labeled by their `group`, `path`, or `name`
+/// string field when present (falling back to the index), so row order
+/// never affects the comparison.
+#[must_use]
+pub fn flatten(json: &Json) -> BTreeMap<String, Metric> {
+    let mut out = BTreeMap::new();
+    walk(json, "", &mut out);
+    out
+}
+
+fn walk(json: &Json, prefix: &str, out: &mut BTreeMap<String, Metric>) {
+    match json {
+        Json::Num(x) => {
+            out.insert(prefix.to_string(), Metric::Num(*x));
+        }
+        Json::Bool(b) => {
+            out.insert(prefix.to_string(), Metric::Bool(*b));
+        }
+        Json::Str(_) | Json::Null => {}
+        Json::Obj(fields) => {
+            for (key, value) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                walk(value, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = element_label(item).unwrap_or_else(|| i.to_string());
+                let path = if prefix.is_empty() {
+                    label
+                } else {
+                    format!("{prefix}.{label}")
+                };
+                walk(item, &path, out);
+            }
+        }
+    }
+}
+
+/// The identity label of an array element: its `group` (+ `n` when
+/// present), `path`, or `name` field.
+fn element_label(item: &Json) -> Option<String> {
+    let Json::Obj(fields) = item else {
+        return None;
+    };
+    let get_str = |want: &str| {
+        fields.iter().find_map(|(k, v)| match v {
+            Json::Str(s) if k == want => Some(s.clone()),
+            _ => None,
+        })
+    };
+    let get_num = |want: &str| {
+        fields.iter().find_map(|(k, v)| match v {
+            Json::Num(x) if k == want => Some(*x),
+            _ => None,
+        })
+    };
+    if let Some(group) = get_str("group") {
+        return Some(match get_num("n") {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Some(n) => format!("{group}[n={}]", n as u64),
+            None => group,
+        });
+    }
+    get_str("path").or_else(|| get_str("name"))
+}
+
+/// The verdict of one [`compare`] run.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// One line per compared metric (`path baseline fresh delta%`).
+    pub lines: Vec<String>,
+    /// Human-readable failures; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// `true` when no metric regressed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `fresh` against `baseline`: every time-like baseline metric
+/// must exist in `fresh` and stay within `max_regress_pct` percent above
+/// its baseline value, and every baseline `true` boolean must stay
+/// `true`.
+#[must_use]
+pub fn compare(baseline: &Json, fresh: &Json, max_regress_pct: f64) -> GateOutcome {
+    let base = flatten(baseline);
+    let new = flatten(fresh);
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (path, metric) in &base {
+        match metric {
+            Metric::Num(base_val) => {
+                if !is_time_key(path) {
+                    continue;
+                }
+                let Some(Metric::Num(new_val)) = new.get(path) else {
+                    failures.push(format!("{path}: present in baseline, missing in fresh"));
+                    continue;
+                };
+                let delta_pct = if *base_val > 0.0 {
+                    (new_val - base_val) / base_val * 100.0
+                } else {
+                    0.0
+                };
+                let over = delta_pct > max_regress_pct;
+                lines.push(format!(
+                    "{path}: {base_val} -> {new_val} ({delta_pct:+.1}%){}",
+                    if over { "  [REGRESSION]" } else { "" }
+                ));
+                if over {
+                    failures.push(format!(
+                        "{path}: regressed {delta_pct:+.1}% (limit +{max_regress_pct:.0}%)"
+                    ));
+                }
+            }
+            Metric::Bool(true) => match new.get(path) {
+                Some(Metric::Bool(true)) => {}
+                Some(Metric::Bool(false)) => {
+                    failures.push(format!("{path}: was true in baseline, now false"));
+                }
+                _ => failures.push(format!("{path}: boolean missing in fresh")),
+            },
+            Metric::Bool(false) => {}
+        }
+    }
+    GateOutcome { lines, failures }
+}
+
+/// Multiplies every time-like numeric leaf by `factor`, in place — the
+/// synthetic-regression negative control.
+pub fn scale_times(json: &mut Json, factor: f64) {
+    fn walk(json: &mut Json, key: &str, factor: f64) {
+        match json {
+            Json::Num(x) if is_time_key(key) => *x *= factor,
+            Json::Obj(fields) => {
+                for (k, v) in fields {
+                    walk(v, k, factor);
+                }
+            }
+            Json::Arr(items) => {
+                for item in items {
+                    walk(item, key, factor);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(json, "", factor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "bench": "demo", "cores": 1,
+      "pool": {"reused_gt_spawned": true},
+      "telemetry": {"serial_spans": [{"name": "world.drive", "count": 6, "total_ns": 1000}]},
+      "rows": [
+        {"group": "seed_batch", "n": 64, "serial_ms": 2.0, "parallel_ms": 1.0, "identical": true},
+        {"group": "seed_batch", "n": 256, "serial_ms": 8.0, "parallel_ms": 4.0, "identical": true}
+      ]
+    }"#;
+
+    #[test]
+    fn parse_and_flatten_label_rows_by_group() {
+        let json = parse_json(SAMPLE).unwrap();
+        let flat = flatten(&json);
+        assert_eq!(
+            flat.get("rows.seed_batch[n=64].serial_ms"),
+            Some(&Metric::Num(2.0))
+        );
+        assert_eq!(
+            flat.get("telemetry.serial_spans.world.drive.total_ns"),
+            Some(&Metric::Num(1000.0))
+        );
+        assert_eq!(
+            flat.get("pool.reused_gt_spawned"),
+            Some(&Metric::Bool(true))
+        );
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let json = parse_json(SAMPLE).unwrap();
+        let outcome = compare(&json, &json, 25.0);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert!(!outcome.lines.is_empty());
+    }
+
+    #[test]
+    fn scaled_compare_fails() {
+        let baseline = parse_json(SAMPLE).unwrap();
+        let mut slow = baseline.clone();
+        scale_times(&mut slow, 1.5);
+        let outcome = compare(&baseline, &slow, 25.0);
+        assert!(!outcome.passed());
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("serial_ms") && f.contains("+50.0%")));
+        // Non-time metrics (count) are untouched by scaling.
+        let flat = flatten(&slow);
+        assert_eq!(
+            flat.get("telemetry.serial_spans.world.drive.count"),
+            Some(&Metric::Num(6.0))
+        );
+        assert_eq!(
+            flat.get("telemetry.serial_spans.world.drive.total_ns"),
+            Some(&Metric::Num(1500.0))
+        );
+    }
+
+    #[test]
+    fn speedups_within_tolerance_pass() {
+        let baseline = parse_json(SAMPLE).unwrap();
+        let mut slightly = baseline.clone();
+        scale_times(&mut slightly, 1.10);
+        assert!(compare(&baseline, &slightly, 25.0).passed());
+        // Getting *faster* is never a failure.
+        let mut faster = baseline.clone();
+        scale_times(&mut faster, 0.5);
+        assert!(compare(&baseline, &faster, 25.0).passed());
+    }
+
+    #[test]
+    fn missing_metric_and_flipped_boolean_fail() {
+        let baseline = parse_json(SAMPLE).unwrap();
+        let fresh = parse_json(
+            r#"{"rows": [{"group": "seed_batch", "n": 64, "serial_ms": 2.0, "identical": false}]}"#,
+        )
+        .unwrap();
+        let outcome = compare(&baseline, &fresh, 25.0);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("missing in fresh")));
+        assert!(outcome.failures.iter().any(|f| f.contains("now false")));
+    }
+
+    #[test]
+    fn round_trips_through_to_string() {
+        let json = parse_json(SAMPLE).unwrap();
+        let text = to_string(&json);
+        assert_eq!(parse_json(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse_json("{\"a\": ").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("").is_err());
+    }
+}

@@ -27,6 +27,7 @@ use std::collections::HashMap;
 
 pub use synran_lab::artifact::{results_telemetry_path, write_telemetry_jsonl};
 
+pub mod gate;
 pub mod harness;
 
 /// A minimal `--key value` command-line parser (plus bare `--flag`s).

@@ -261,7 +261,7 @@ pub fn from_jsonl(line: &str) -> Option<(String, Cell, CellResult)> {
 }
 
 /// Extracts the string value of `"key":"..."` from a flat JSON object.
-fn json_str_field<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_str_field<'a>(s: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":\"");
     let start = s.find(&needle)? + needle.len();
     let end = s[start..].find('"')?;
@@ -269,7 +269,7 @@ fn json_str_field<'a>(s: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Extracts the numeric value of `"key":<digits>` from a flat JSON object.
-fn json_u64_field(s: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64_field(s: &str, key: &str) -> Option<u64> {
     let needle = format!("\"{key}\":");
     let start = s.find(&needle)? + needle.len();
     let digits: &str = &s[start..start + s[start..].find(|c: char| !c.is_ascii_digit())?];

@@ -22,13 +22,22 @@
 //! spliced into the fold.
 
 use std::path::Path;
+use std::time::Instant;
 
 use synran_sim::{parallel, Telemetry};
 
 use crate::cell::{Cell, CellResult};
 use crate::journal::{load_cache, CellCache, Journal};
+use crate::progress::{Heartbeat, ProgressSink};
 use crate::registry::run_cell;
 use crate::LabError;
+
+/// An attached progress sink plus its emission cadence.
+#[derive(Debug)]
+struct Progress {
+    every: usize,
+    sink: Box<dyn ProgressSink>,
+}
 
 /// The sharded, cache-aware campaign executor.
 #[derive(Debug)]
@@ -37,6 +46,7 @@ pub struct Engine {
     telemetry: Telemetry,
     cache: CellCache,
     journal: Option<Journal>,
+    progress: Option<Progress>,
     executed: usize,
     cache_hits: usize,
 }
@@ -51,9 +61,23 @@ impl Engine {
             telemetry,
             cache: CellCache::new(),
             journal: None,
+            progress: None,
             executed: 0,
             cache_hits: 0,
         }
+    }
+
+    /// Attaches a progress sink: a [`Heartbeat`] is emitted from the
+    /// serial fold every `every` completed cells (and once at the end of
+    /// each run). Observe-only — attaching a sink never changes results,
+    /// journal bytes, or stdout (pinned by `progress_is_observe_only`).
+    #[must_use]
+    pub fn with_progress(mut self, every: usize, sink: Box<dyn ProgressSink>) -> Engine {
+        self.progress = Some(Progress {
+            every: every.max(1),
+            sink,
+        });
+        self
     }
 
     /// Attaches an open journal and merges the entries it already holds
@@ -109,10 +133,12 @@ impl Engine {
     /// [`try_par_map`](synran_sim::parallel::try_par_map)), or an I/O
     /// error from the journal.
     pub fn run_cells(&mut self, cells: &[Cell]) -> Result<Vec<CellResult>, LabError> {
+        let start = Instant::now();
         let hashes: Vec<String> = cells.iter().map(Cell::content_hash).collect();
         let mut results: Vec<Option<CellResult>> =
             hashes.iter().map(|h| self.cache.get(h).cloned()).collect();
-        self.cache_hits += results.iter().filter(|r| r.is_some()).count();
+        let warm = results.iter().filter(|r| r.is_some()).count();
+        self.cache_hits += warm;
 
         // First index per distinct pending hash, in cell order (duplicates
         // within the list run once and share the result).
@@ -122,6 +148,10 @@ impl Engine {
                 pending.push(i);
             }
         }
+
+        let mut run_executed = 0usize;
+        let mut last_beat = 0usize;
+        self.emit_heartbeat(warm, cells.len(), 0, warm, start);
 
         let workers = parallel::resolve_threads(self.threads).max(1);
         for wave in pending.chunks(workers * 4) {
@@ -134,6 +164,7 @@ impl Engine {
                 }
                 self.cache.insert(hashes[i].clone(), result);
                 self.executed += 1;
+                run_executed += 1;
             }
             // Splice the wave (and any in-list duplicates) from the cache.
             for (i, slot) in results.iter_mut().enumerate() {
@@ -141,11 +172,67 @@ impl Engine {
                     *slot = self.cache.get(&hashes[i]).cloned();
                 }
             }
+            let done = results.iter().filter(|r| r.is_some()).count();
+            if let Some(progress) = &self.progress {
+                if done - last_beat >= progress.every || done == cells.len() {
+                    last_beat = done;
+                    self.emit_heartbeat(done, cells.len(), run_executed, warm, start);
+                }
+            }
         }
+
+        // Observe-only run accounting for `synran report` (cells/sec,
+        // cache hit rate). Accumulated across run_cells calls on the same
+        // telemetry handle.
+        self.telemetry.incr("lab.cells.total", cells.len() as u64);
+        self.telemetry
+            .incr("lab.cells.executed", run_executed as u64);
+        self.telemetry.incr("lab.cells.cached", warm as u64);
+        #[allow(clippy::cast_possible_truncation)]
+        self.telemetry
+            .incr("lab.elapsed_ns", start.elapsed().as_nanos() as u64);
+
         Ok(results
             .into_iter()
             .map(|r| r.expect("every cell executed or cached"))
             .collect())
+    }
+
+    /// Emits one heartbeat from the serial fold, if a sink is attached.
+    /// Reads clocks and pool stats but writes nothing except to the sink.
+    fn emit_heartbeat(
+        &mut self,
+        done: usize,
+        total: usize,
+        executed: usize,
+        cache_hits: usize,
+        start: Instant,
+    ) {
+        let Some(progress) = &mut self.progress else {
+            return;
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let cells_per_sec = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let eta_secs = if cells_per_sec > 0.0 {
+            (total - done) as f64 / cells_per_sec
+        } else {
+            0.0
+        };
+        progress.sink.heartbeat(&Heartbeat {
+            done,
+            total,
+            executed,
+            cache_hits,
+            cells_per_sec,
+            eta_secs,
+            pool: parallel::global_pool().stats(),
+        });
     }
 }
 
@@ -223,6 +310,74 @@ mod tests {
         assert_eq!(importer.import_cache(&path).unwrap(), cells.len());
         importer.run_cells(&cells[..2]).unwrap();
         assert_eq!(importer.executed(), 0);
+    }
+
+    #[test]
+    fn progress_is_observe_only() {
+        use crate::progress::MemoryProgress;
+
+        let cells = grid();
+        let dir = tmpdir("progress");
+
+        // Without progress.
+        let plain_path = dir.join("plain.journal.jsonl");
+        let (journal, cache) = Journal::open(&plain_path).unwrap();
+        let baseline = Engine::new(2, Telemetry::off())
+            .with_journal(journal, cache)
+            .run_cells(&cells)
+            .unwrap();
+
+        // With progress, every cell.
+        let beat_path = dir.join("beats.journal.jsonl");
+        let (journal, cache) = Journal::open(&beat_path).unwrap();
+        let mut engine = Engine::new(2, Telemetry::off())
+            .with_journal(journal, cache)
+            .with_progress(1, Box::new(MemoryProgress::default()));
+        let observed = engine.run_cells(&cells).unwrap();
+        drop(engine);
+
+        assert_eq!(observed, baseline, "results identical with progress on");
+        assert_eq!(
+            std::fs::read(&plain_path).unwrap(),
+            std::fs::read(&beat_path).unwrap(),
+            "journal bytes identical with progress on"
+        );
+    }
+
+    #[test]
+    fn heartbeats_track_completion() {
+        use crate::progress::{MemoryProgress, ProgressSink};
+
+        // A sink we can inspect after the engine is done: forward into a
+        // shared buffer.
+        #[derive(Debug, Default, Clone)]
+        struct Shared(std::sync::Arc<std::sync::Mutex<MemoryProgress>>);
+        impl ProgressSink for Shared {
+            fn heartbeat(&mut self, beat: &crate::progress::Heartbeat) {
+                self.0.lock().unwrap().heartbeat(beat);
+            }
+        }
+
+        let cells = grid();
+        let sink = Shared::default();
+        let mut engine = Engine::new(1, Telemetry::off()).with_progress(2, Box::new(sink.clone()));
+        engine.run_cells(&cells).unwrap();
+        let beats = sink.0.lock().unwrap().beats.clone();
+        assert!(beats.len() >= 2, "initial + final at minimum");
+        assert_eq!(beats[0].done, 0);
+        let last = beats.last().unwrap();
+        assert_eq!(last.done, cells.len());
+        assert_eq!(last.total, cells.len());
+        assert_eq!(last.executed, cells.len());
+        assert!((last.percent() - 100.0).abs() < 1e-9);
+
+        // Second run: everything cached, the initial heartbeat already
+        // reports completion.
+        engine.run_cells(&cells).unwrap();
+        let beats = sink.0.lock().unwrap().beats.clone();
+        let first_of_second = &beats[beats.len() - 1];
+        assert_eq!(first_of_second.done, cells.len());
+        assert_eq!(first_of_second.cache_hits, cells.len());
     }
 
     #[test]

@@ -19,31 +19,96 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use crate::cell::{from_jsonl, to_jsonl, Cell, CellResult};
+use crate::cell::{from_jsonl, json_str_field, json_u64_field, to_jsonl, Cell, CellResult};
 
 /// A content-keyed map of completed cells: hash → result.
 pub type CellCache = BTreeMap<String, CellResult>;
 
+/// The provenance header a campaign run appends first (see
+/// [`Journal::append_header`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Campaign name.
+    pub name: String,
+    /// Cell count of the spec that wrote the header.
+    pub cells: usize,
+    /// Content hash of that spec.
+    pub spec_hash: String,
+}
+
+/// Everything a full pass over a journal file learns — the cache plus the
+/// line-level accounting `synran campaign status` and `synran report`
+/// surface (how many lines truncation recovery actually dropped, not just
+/// what survived).
+#[derive(Debug, Clone, Default)]
+pub struct JournalScan {
+    /// Parsed cell results, content-hash keyed.
+    pub cache: CellCache,
+    /// Total lines in the file.
+    pub lines: usize,
+    /// Cell lines that parsed.
+    pub entries: usize,
+    /// Lines dropped by truncation recovery: not blank, not a header, not
+    /// a parseable cell. Includes the half-written tail of a killed run.
+    pub skipped: usize,
+    /// The last `"type":"campaign"` header, if any.
+    pub header: Option<JournalHeader>,
+}
+
+/// Reads a journal file line by line, classifying every line. A missing
+/// file scans as empty.
+///
+/// # Errors
+///
+/// Returns an I/O error only for a file that exists but cannot be read.
+pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
+    let mut scan = JournalScan::default();
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(scan),
+        Err(e) => return Err(e),
+    };
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        scan.lines += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some((hash, _, result)) = from_jsonl(trimmed) {
+            scan.cache.insert(hash, result);
+            scan.entries += 1;
+            continue;
+        }
+        let well_formed = trimmed.starts_with('{') && trimmed.ends_with('}');
+        if well_formed && json_str_field(trimmed, "type") == Some("campaign") {
+            if let (Some(name), Some(cells), Some(spec_hash)) = (
+                json_str_field(trimmed, "name"),
+                json_u64_field(trimmed, "cells"),
+                json_str_field(trimmed, "spec_hash"),
+            ) {
+                scan.header = Some(JournalHeader {
+                    name: name.to_string(),
+                    cells: usize::try_from(cells).unwrap_or(usize::MAX),
+                    spec_hash: spec_hash.to_string(),
+                });
+                continue;
+            }
+        }
+        scan.skipped += 1;
+    }
+    Ok(scan)
+}
+
 /// Reads every parseable cell line of a journal file into a cache.
 /// A missing file is an empty cache; unparseable lines (truncated tails,
-/// unknown event kinds) are skipped.
+/// unknown event kinds) are skipped — [`scan_journal`] reports how many.
 ///
 /// # Errors
 ///
 /// Returns an I/O error only for a file that exists but cannot be read.
 pub fn load_cache(path: &Path) -> std::io::Result<CellCache> {
-    let mut cache = CellCache::new();
-    let file = match File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cache),
-        Err(e) => return Err(e),
-    };
-    for line in BufReader::new(file).lines() {
-        if let Some((hash, _, result)) = from_jsonl(&line?) {
-            cache.insert(hash, result);
-        }
-    }
-    Ok(cache)
+    Ok(scan_journal(path)?.cache)
 }
 
 /// An open, append-mode campaign journal.
@@ -192,6 +257,39 @@ mod tests {
         let cache = load_cache(&path).unwrap();
         assert_eq!(cache.len(), 1, "only the complete cell line survives");
         assert!(cache.contains_key(&cell(1).content_hash()));
+    }
+
+    #[test]
+    fn scan_accounts_for_every_line() {
+        let path = tmpdir("scan").join("demo.journal.jsonl");
+        let mut text = String::new();
+        text.push_str(
+            "{\"type\":\"campaign\",\"name\":\"demo\",\"cells\":3,\"spec_hash\":\"x\"}\n",
+        );
+        text.push_str(&to_jsonl(&cell(1), &result(4)));
+        text.push('\n');
+        text.push_str("{\"type\":\"from_the_future\",\"x\":1}\n");
+        let full_line = to_jsonl(&cell(2), &result(9));
+        text.push_str(&full_line[..full_line.len() / 2]); // killed mid-line
+        std::fs::write(&path, text).unwrap();
+
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.lines, 4);
+        assert_eq!(scan.entries, 1);
+        assert_eq!(scan.skipped, 2, "unknown type + truncated tail");
+        assert_eq!(scan.cache.len(), 1);
+        assert_eq!(
+            scan.header,
+            Some(JournalHeader {
+                name: "demo".to_string(),
+                cells: 3,
+                spec_hash: "x".to_string(),
+            })
+        );
+
+        let empty = scan_journal(Path::new("/nonexistent/never/x.jsonl")).unwrap();
+        assert_eq!(empty.lines, 0);
+        assert!(empty.header.is_none());
     }
 
     #[test]

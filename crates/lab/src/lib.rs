@@ -44,14 +44,18 @@ pub mod cell;
 pub mod engine;
 pub mod journal;
 pub mod presets;
+pub mod progress;
 pub mod registry;
+pub mod report;
 pub mod spec;
 
 pub use artifact::{results_telemetry_path, write_telemetry_jsonl};
 pub use cell::{fnv1a64, Cell, CellResult, CELL_SCHEMA_VERSION};
 pub use engine::Engine;
-pub use journal::{load_cache, CellCache, Journal};
+pub use journal::{load_cache, scan_journal, CellCache, Journal, JournalHeader, JournalScan};
+pub use progress::{Heartbeat, MemoryProgress, ProgressSink, StderrProgress};
 pub use registry::{run_cell, validate_cell};
+pub use report::{Report, ReportFormat};
 pub use spec::CampaignSpec;
 
 /// Errors surfaced by the campaign engine.

@@ -93,6 +93,9 @@ pub use plane::{BitPlane, PlaneMsg};
 pub use process::{Context, Process};
 pub use report::RunReport;
 pub use rng::{SimRng, StreamPhase};
+pub use telemetry::aggregate::{
+    LineKind, OwnedSpan, PhaseStat, RoundKillRow, SpanNode, SpanTree, TelemetryStream,
+};
 pub use telemetry::{
     JsonlSink, MemorySink, Telemetry, TelemetryEvent, TelemetryMode, TelemetrySink,
 };

@@ -45,6 +45,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::{Adversary, Process, RunReport, SimError, Telemetry, World};
 
@@ -438,6 +439,21 @@ pub fn global_pool() -> &'static WorkerPool {
     GLOBAL.get_or_init(WorkerPool::new)
 }
 
+/// Exports the global pool's cumulative [`WorkerPool::stats`] into
+/// `telemetry` as **fill-if-absent** gauges, so a JSONL counter dump
+/// carries `pool.spawned` / `pool.reused` / `pool.tasks` / `pool.inline`
+/// even when no pooled batch ran against this handle (e.g. a serial run,
+/// or a handle attached after the batches finished). Dispatch-time
+/// increments already recorded on the handle always win — this never
+/// overwrites them. Observe-only, like every other telemetry write.
+pub fn export_pool_stats(telemetry: &Telemetry) {
+    let stats = global_pool().stats();
+    telemetry.set_if_absent("pool.spawned", stats.spawned);
+    telemetry.set_if_absent("pool.reused", stats.reused);
+    telemetry.set_if_absent("pool.tasks", stats.tasks);
+    telemetry.set_if_absent("pool.inline", stats.inline);
+}
+
 // ---------------------------------------------------------------------------
 // par_map entry points
 // ---------------------------------------------------------------------------
@@ -547,9 +563,20 @@ where
     let out = SlotWriter {
         base: slots.as_mut_ptr(),
     };
+    // In spans mode, measure per-chunk busy time against the dispatch's
+    // wall time for the `pool.utilization` histogram. Observe-only: the
+    // clock reads never influence chunking or results.
+    let track_util = telemetry.spans_enabled();
+    let busy_ns: Vec<AtomicU64> = if track_util {
+        (0..workers).map(|_| AtomicU64::new(0)).collect()
+    } else {
+        Vec::new()
+    };
+    let dispatch_start = Instant::now();
     pool.run(telemetry, workers, &|w| {
         #[allow(clippy::cast_possible_truncation)]
         let _worker = telemetry.worker_span("parallel.worker", w as u32);
+        let chunk_start = track_util.then(Instant::now);
         let lo = w * chunk;
         let hi = total.min(lo + chunk);
         for i in lo..hi {
@@ -562,7 +589,19 @@ where
                 out.write(i, value);
             };
         }
+        if let Some(start) = chunk_start {
+            #[allow(clippy::cast_possible_truncation)]
+            busy_ns[w].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
     });
+    if track_util {
+        #[allow(clippy::cast_possible_truncation)]
+        let wall = (dispatch_start.elapsed().as_nanos() as u64).max(1);
+        for busy in &busy_ns {
+            let pct = busy.load(Ordering::Relaxed).saturating_mul(100) / wall;
+            telemetry.observe("pool.utilization", pct.min(100));
+        }
+    }
     slots
         .into_iter()
         .map(|slot| slot.expect("every index was assigned to exactly one chunk"))

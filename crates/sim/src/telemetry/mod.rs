@@ -49,6 +49,8 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod aggregate;
+
 /// How much the telemetry layer records.
 ///
 /// Parsed from the CLI's `--telemetry off|counters|spans` flag.
@@ -280,6 +282,21 @@ impl Telemetry {
                 .expect("telemetry lock")
                 .counters
                 .insert(name, value);
+        }
+    }
+
+    /// Sets the counter `name` to `value` only if it has not been
+    /// recorded yet — a fill-in for process-wide gauges (see
+    /// [`crate::parallel::export_pool_stats`]): per-dispatch increments
+    /// already on this handle always win.
+    pub fn set_if_absent(&self, name: &'static str, value: u64) {
+        if let Some(hub) = &self.hub {
+            hub.state
+                .lock()
+                .expect("telemetry lock")
+                .counters
+                .entry(name)
+                .or_insert(value);
         }
     }
 
@@ -588,6 +605,116 @@ impl TelemetryEvent {
             ),
         }
     }
+
+    /// Decodes one JSONL line produced by [`TelemetryEvent::to_jsonl`].
+    ///
+    /// Returns `None` for malformed or truncated lines **and** for
+    /// well-formed objects of an unknown `"type"` — the same
+    /// forward-compatibility contract as the journal loader: readers skip
+    /// what they don't understand. Use [`aggregate::classify_line`] when
+    /// the distinction between *malformed* and *unknown-but-well-formed*
+    /// matters (it does for `synran report --check`).
+    #[must_use]
+    pub fn from_jsonl(line: &str) -> Option<TelemetryEvent> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None; // Truncated tail of a killed writer.
+        }
+        match json_str_field(line, "type")? {
+            "meta" => Some(TelemetryEvent::Meta {
+                key: json_unescape(json_str_field(line, "key")?),
+                value: json_unescape(json_str_field(line, "value")?),
+            }),
+            "counter" => Some(TelemetryEvent::Counter {
+                name: json_unescape(json_str_field(line, "name")?),
+                value: json_u64_field(line, "value")?,
+            }),
+            "histogram" => Some(TelemetryEvent::Histogram {
+                name: json_unescape(json_str_field(line, "name")?),
+                count: json_u64_field(line, "count")?,
+                sum: json_u64_field(line, "sum")?,
+                min: json_u64_field(line, "min")?,
+                max: json_u64_field(line, "max")?,
+            }),
+            "span" => Some(TelemetryEvent::Span {
+                name: json_unescape(json_str_field(line, "name")?),
+                worker: match json_raw_field(line, "worker")? {
+                    "null" => None,
+                    digits => Some(digits.parse().ok()?),
+                },
+                start_ns: json_u64_field(line, "start_ns")?,
+                elapsed_ns: json_u64_field(line, "elapsed_ns")?,
+            }),
+            "round_kills" => Some(TelemetryEvent::RoundKills {
+                round: u32::try_from(json_u64_field(line, "round")?).ok()?,
+                kills: json_u64_field(line, "kills")?,
+                cap: json_u64_field(line, "cap")?,
+                over_cap: match json_raw_field(line, "over_cap")? {
+                    "true" => true,
+                    "false" => false,
+                    _ => return None,
+                },
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts the raw (still-escaped) string value of `"key":"..."`.
+fn json_str_field<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = s.find(&needle)? + needle.len();
+    let mut end = start;
+    let bytes = s.as_bytes();
+    while end < s.len() {
+        match bytes[end] {
+            b'"' => return Some(&s[start..end]),
+            b'\\' => end += 2,
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+/// Extracts the raw token of an unquoted `"key":<token>` value (digits,
+/// `null`, `true`, `false`), up to the next `,` or `}`.
+fn json_raw_field<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = s.find(&needle)? + needle.len();
+    let end = s[start..].find([',', '}'])?;
+    Some(s[start..start + end].trim())
+}
+
+/// Extracts the numeric value of `"key":<digits>`.
+fn json_u64_field(s: &str, key: &str) -> Option<u64> {
+    json_raw_field(s, key)?.parse().ok()
+}
+
+/// Reverses [`json_escape`] for the escape set it emits.
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                match u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => out.push_str(&hex),
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
 }
 
 /// Where telemetry events go when a registry is exported.

@@ -42,6 +42,30 @@ else
     echo "telemetry JSONL OK: $(wc -l < "$telemetry_out") events (grep check)"
 fi
 
+echo "== tier1: report smoke test =="
+# `synran report --check` must accept the artifact the previous step just
+# produced (exit 0), render a non-empty folded stack file from it, and
+# reject a truncated copy (exit nonzero) — the observability layer's
+# end-to-end contract.
+./target/release/synran report --check "$telemetry_out" >/dev/null \
+    || { echo "report --check rejected a healthy artifact"; exit 1; }
+folded_lines="$(./target/release/synran report --format folded "$telemetry_out" | wc -l)"
+[ "$folded_lines" -gt 0 ] || { echo "report produced an empty folded stack"; exit 1; }
+head -c -20 "$telemetry_out" > "$telemetry_out.cut"
+if ./target/release/synran report --check "$telemetry_out.cut" >/dev/null 2>&1; then
+    echo "report --check accepted a truncated artifact"
+    rm -f "$telemetry_out.cut"
+    exit 1
+fi
+rm -f "$telemetry_out.cut"
+echo "report smoke OK: healthy artifact passes --check ($folded_lines folded stacks), truncated copy rejected"
+
+echo "== tier1: bench gate smoke test =="
+# The perf-regression gate must pass every committed BENCH_*.json baseline
+# against itself and detect a synthetic 1.5x slowdown (see
+# scripts/bench_gate.sh for the full fresh-run mode).
+./scripts/bench_gate.sh --smoke
+
 echo "== tier1: bit-plane delivery smoke test =="
 # The plane fast path must beat the scalar pair path and stay
 # byte-identical to the scalarized oracle at threads 1, 2, and 8 (the

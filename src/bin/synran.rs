@@ -20,7 +20,10 @@ use synran::core::{
     check_consensus_with, run_batch_with, ConsensusProtocol, FloodingConsensus, InputAssignment,
     LeaderConsensus, SynRan,
 };
-use synran::lab::{load_cache, presets, CampaignSpec, CellCache, Engine, Journal};
+use synran::lab::{
+    load_cache, presets, scan_journal, CampaignSpec, CellCache, Engine, Journal, Report,
+    ReportFormat, StderrProgress,
+};
 use synran::sim::{
     Adversary, Bit, JsonlSink, Passive, Process, SimConfig, SimRng, Telemetry, TelemetryEvent,
     TelemetryMode, TelemetrySink,
@@ -36,8 +39,11 @@ USAGE:
   synran campaign run <spec>     run a declarative campaign (journalled,
                  resumable; cached cells are skipped automatically)
   synran campaign resume <spec>  alias of run — resuming is the default
-  synran campaign status <spec>  show cached vs pending cells, no execution
+  synran campaign status <spec>  show percent-complete and journal health,
+                 no execution
   synran campaign list           list the specs under campaigns/
+  synran report [OPTIONS] <file>...  render telemetry/journal JSONL artifacts
+                 as deterministic tables, JSON, or folded stacks
   synran list               list protocols, adversaries, and experiments
 
 CAMPAIGN OPTIONS:
@@ -47,7 +53,19 @@ CAMPAIGN OPTIONS:
   --fresh              truncate the journal first (campaign run only)
   --import <path>      merge another campaign's journal as a read-only
                        result cache (cross-campaign dedup)
+  --progress <int>     heartbeat to stderr every N completed cells
+                       (observe-only; results identical with it on or off)
   --dir <dir>          directory scanned by campaign list    (default campaigns)
+
+REPORT OPTIONS:
+  --format table | json | folded   rendering                 (default table)
+                 folded emits `a;b;c self_ns` stack lines for flamegraph
+                 tooling (spans-mode telemetry only)
+  --check        verify stream integrity instead of rendering: exit nonzero
+                 on malformed or truncated lines
+  Files ending in .journal.jsonl parse as campaign journals; everything
+  else parses as telemetry JSONL. Output is a pure function of the input
+  bytes — byte-identical on every re-run at any thread count.
 
 OPTIONS:
   --protocol  synran | symmetric | flooding | leader        (default synran)
@@ -455,6 +473,19 @@ fn campaign_run(
     let telemetry = Telemetry::new(spec.telemetry_mode().map_err(|e| e.to_string())?);
     let warm = cache.len();
     let mut engine = Engine::new(threads, telemetry).with_journal(journal, cache);
+    // Opt-in heartbeats to stderr (`--progress N`, or bare `--progress`
+    // for every 25 cells). Observe-only: stdout and the journal are
+    // byte-identical with this on or off.
+    let progress_every = match values.get("progress") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--progress: not an integer: {v}"))?,
+        ),
+        None => flags.iter().any(|f| f == "progress").then_some(25),
+    };
+    if let Some(every) = progress_every {
+        engine = engine.with_progress(every, Box::new(StderrProgress));
+    }
     if let Some(import) = values.get("import") {
         let merged = engine
             .import_cache(Path::new(import))
@@ -487,24 +518,110 @@ fn campaign_status(
     let spec = CampaignSpec::parse_file(Path::new(path)).map_err(|e| e.to_string())?;
     let cells = presets::campaign_cells(&spec).map_err(|e| e.to_string())?;
     let journal_path = journal_path(values, spec.name());
-    let cache = load_cache(&journal_path).map_err(|e| e.to_string())?;
-    let cached = cells
+    let scan = scan_journal(&journal_path).map_err(|e| e.to_string())?;
+    // A cell counts as completed only if its journalled result is
+    // *complete* (the cell-schema invariant), so half-written lines
+    // dropped by truncation recovery — or a corrupt-but-parseable result
+    // — never inflate the percentage.
+    let completed = cells
         .iter()
-        .filter(|c| cache.contains_key(&c.content_hash()))
+        .filter(|c| {
+            scan.cache.get(&c.content_hash()).is_some_and(|r| {
+                r.rounds.len() + r.timeouts as usize == c.runs && r.kills.len() == r.rounds.len()
+            })
+        })
         .count();
+    #[allow(clippy::cast_precision_loss)]
+    let percent = if cells.is_empty() {
+        100.0
+    } else {
+        completed as f64 * 100.0 / cells.len() as f64
+    };
     println!("campaign   : {}", spec.name());
     println!("experiment : {}", spec.experiment());
     println!("spec hash  : {}", spec.content_hash());
     println!(
-        "cells      : {} total, {cached} cached, {} pending",
+        "progress   : {percent:.1}% complete ({completed}/{} cells, {} pending)",
         cells.len(),
-        cells.len() - cached
+        cells.len() - completed
     );
+    let dropped = if scan.skipped > 0 {
+        format!(", {} lines dropped by truncation recovery", scan.skipped)
+    } else {
+        String::new()
+    };
     println!(
-        "journal    : {} ({} entries)",
+        "journal    : {} ({} entries{dropped})",
         journal_path.display(),
-        cache.len()
+        scan.entries
     );
+    println!("last write : {}", last_write_age(&journal_path));
+    Ok(())
+}
+
+/// Age of the journal's last durable write (its mtime) — the campaign's
+/// "last heartbeat" from the outside.
+fn last_write_age(path: &Path) -> String {
+    let Ok(modified) = std::fs::metadata(path).and_then(|m| m.modified()) else {
+        return "never (no journal yet)".to_string();
+    };
+    match modified.elapsed() {
+        Ok(age) => {
+            let secs = age.as_secs();
+            if secs >= 3600 {
+                format!("{}h {}m ago", secs / 3600, (secs % 3600) / 60)
+            } else if secs >= 60 {
+                format!("{}m {}s ago", secs / 60, secs % 60)
+            } else {
+                format!("{secs}s ago")
+            }
+        }
+        Err(_) => "in the future (clock skew)".to_string(),
+    }
+}
+
+/// `synran report` — deterministic renderings of telemetry and journal
+/// artifacts (`synran::lab::Report`).
+fn report_cmd(
+    paths: &[String],
+    values: &HashMap<String, String>,
+    flags: &[String],
+) -> Result<(), String> {
+    // The `--key value` parser is greedy, so in `report --check a.jsonl`
+    // the first path lands as the flag's value — reclaim it.
+    let mut paths: Vec<&String> = paths.iter().collect();
+    let mut check = flags.iter().any(|f| f == "check");
+    if let Some(v) = values.get("check") {
+        check = true;
+        paths.insert(0, v);
+    }
+    if paths.is_empty() {
+        return Err(
+            "report expects at least one JSONL artifact (results/*.telemetry.jsonl or \
+             results/*.journal.jsonl)"
+                .into(),
+        );
+    }
+    let mut report = Report::new();
+    for path in &paths {
+        report
+            .load(Path::new(path.as_str()))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if check {
+        return match report.check() {
+            Ok(text) => {
+                print!("{text}");
+                println!("check: ok");
+                Ok(())
+            }
+            Err(text) => Err(format!("stream integrity check failed\n{text}")),
+        };
+    }
+    let format = values.get("format").map_or(Ok(ReportFormat::Table), |v| {
+        ReportFormat::parse(v).map_err(|e| e.to_string())
+    })?;
+    print!("{}", report.render(format));
     Ok(())
 }
 
@@ -586,6 +703,15 @@ fn main() -> ExitCode {
     }
     if cmd == "campaign" {
         return match campaign_cmd(&positionals[1..], &values, &flags) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "report" {
+        return match report_cmd(&positionals[1..], &values, &flags) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
