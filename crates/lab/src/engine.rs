@@ -39,6 +39,64 @@ struct Progress {
     sink: Box<dyn ProgressSink>,
 }
 
+/// Anything that can execute a campaign's cell list: the in-process
+/// [`Engine`], or the multi-process [`Fleet`](crate::fleet::Fleet) that
+/// shards the same list across worker subprocesses. Presets render
+/// against this trait, so a campaign's stdout is a pure function of the
+/// results whichever runner produced them.
+pub trait CellRunner {
+    /// Runs the cells and returns their results in cell order. Same
+    /// contract as [`Engine::run_cells`]: cached cells are spliced in,
+    /// duplicates execute once, and the first failing cell's error is
+    /// returned **by cell order**.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell's error by cell order, or an I/O
+    /// error from the journal.
+    fn run_cells(&mut self, cells: &[Cell]) -> Result<Vec<CellResult>, LabError>;
+
+    /// The telemetry handle the runner records into.
+    fn telemetry(&self) -> &Telemetry;
+
+    /// Cells actually executed so far (cache misses).
+    fn executed(&self) -> usize;
+
+    /// Cells answered from the cache so far.
+    fn cache_hits(&self) -> usize;
+}
+
+impl CellRunner for Engine {
+    fn run_cells(&mut self, cells: &[Cell]) -> Result<Vec<CellResult>, LabError> {
+        Engine::run_cells(self, cells)
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        Engine::telemetry(self)
+    }
+
+    fn executed(&self) -> usize {
+        Engine::executed(self)
+    }
+
+    fn cache_hits(&self) -> usize {
+        Engine::cache_hits(self)
+    }
+}
+
+/// First index per distinct un-cached hash, in cell order — the canonical
+/// execution (and journal) order every runner must follow. Duplicates
+/// within the list run once and share the result.
+pub(crate) fn pending_order(hashes: &[String], results: &[Option<CellResult>]) -> Vec<usize> {
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, result) in results.iter().enumerate() {
+        if result.is_none() && !pending.iter().any(|&p| hashes[p] == hashes[i]) {
+            pending.push(i);
+        }
+    }
+    pending
+}
+
 /// The sharded, cache-aware campaign executor.
 #[derive(Debug)]
 pub struct Engine {
@@ -140,14 +198,7 @@ impl Engine {
         let warm = results.iter().filter(|r| r.is_some()).count();
         self.cache_hits += warm;
 
-        // First index per distinct pending hash, in cell order (duplicates
-        // within the list run once and share the result).
-        let mut pending: Vec<usize> = Vec::new();
-        for (i, result) in results.iter().enumerate() {
-            if result.is_none() && !pending.iter().any(|&p| hashes[p] == hashes[i]) {
-                pending.push(i);
-            }
-        }
+        let pending = pending_order(&hashes, &results);
 
         let mut run_executed = 0usize;
         let mut last_beat = 0usize;
@@ -159,11 +210,7 @@ impl Engine {
                 run_cell(&cells[wave[k]], &self.telemetry)
             })?;
             for (&i, result) in wave.iter().zip(outs) {
-                if let Some(journal) = &mut self.journal {
-                    journal.append(&cells[i], &result)?;
-                }
-                self.cache.insert(hashes[i].clone(), result);
-                self.executed += 1;
+                self.record(&cells[i], &hashes[i], result)?;
                 run_executed += 1;
             }
             // Splice the wave (and any in-list duplicates) from the cache.
@@ -181,16 +228,7 @@ impl Engine {
             }
         }
 
-        // Observe-only run accounting for `synran report` (cells/sec,
-        // cache hit rate). Accumulated across run_cells calls on the same
-        // telemetry handle.
-        self.telemetry.incr("lab.cells.total", cells.len() as u64);
-        self.telemetry
-            .incr("lab.cells.executed", run_executed as u64);
-        self.telemetry.incr("lab.cells.cached", warm as u64);
-        #[allow(clippy::cast_possible_truncation)]
-        self.telemetry
-            .incr("lab.elapsed_ns", start.elapsed().as_nanos() as u64);
+        self.finish_counters(cells.len(), run_executed, warm, start);
 
         Ok(results
             .into_iter()
@@ -198,9 +236,67 @@ impl Engine {
             .collect())
     }
 
+    /// A cached result by content hash, cloned out of the cache.
+    pub(crate) fn cache_get(&self, hash: &str) -> Option<CellResult> {
+        self.cache.get(hash).cloned()
+    }
+
+    /// Accounts `n` cache hits without running anything — for runners
+    /// that perform their own cache splice before delegating record-
+    /// keeping back to the engine.
+    pub(crate) fn note_cache_hits(&mut self, n: usize) {
+        self.cache_hits += n;
+    }
+
+    /// The attached journal's file path, if any.
+    pub(crate) fn journal_path(&self) -> Option<&Path> {
+        self.journal.as_ref().map(Journal::path)
+    }
+
+    /// The progress cadence, if a sink is attached.
+    pub(crate) fn progress_every(&self) -> Option<usize> {
+        self.progress.as_ref().map(|p| p.every)
+    }
+
+    /// Records one freshly-executed cell: journal append (flushed),
+    /// cache insert, executed tally. The single write path every runner
+    /// funnels through, so journal bytes cannot diverge between them.
+    pub(crate) fn record(
+        &mut self,
+        cell: &Cell,
+        hash: &str,
+        result: CellResult,
+    ) -> Result<(), LabError> {
+        if let Some(journal) = &mut self.journal {
+            journal.append(cell, &result)?;
+        }
+        self.cache.insert(hash.to_string(), result);
+        self.executed += 1;
+        Ok(())
+    }
+
+    /// Emits the observe-only end-of-run counters for `synran report`
+    /// (cells/sec, cache hit rate). Accumulated across runs on the same
+    /// telemetry handle.
+    pub(crate) fn finish_counters(
+        &self,
+        total: usize,
+        run_executed: usize,
+        warm: usize,
+        start: Instant,
+    ) {
+        self.telemetry.incr("lab.cells.total", total as u64);
+        self.telemetry
+            .incr("lab.cells.executed", run_executed as u64);
+        self.telemetry.incr("lab.cells.cached", warm as u64);
+        #[allow(clippy::cast_possible_truncation)]
+        self.telemetry
+            .incr("lab.elapsed_ns", start.elapsed().as_nanos() as u64);
+    }
+
     /// Emits one heartbeat from the serial fold, if a sink is attached.
     /// Reads clocks and pool stats but writes nothing except to the sink.
-    fn emit_heartbeat(
+    pub(crate) fn emit_heartbeat(
         &mut self,
         done: usize,
         total: usize,

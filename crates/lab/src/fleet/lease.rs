@@ -1,0 +1,259 @@
+//! Lease bookkeeping: which pending cells are queued, outstanding, or
+//! resolved, how many attempts each has burned, and which results are
+//! stale (answering a lease that was already re-issued).
+//!
+//! Pure state machine — no I/O, no clocks — so every retry edge case is
+//! unit-testable without processes.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// What [`LeaseBook::complete`] says about an arriving result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Delivery {
+    /// The lease was outstanding; the result resolves this pending index.
+    Fresh(usize),
+    /// The lease was already resolved, abandoned, or never issued —
+    /// discard the result (counted in `fleet.stale_results`).
+    Stale,
+}
+
+/// What [`LeaseBook::abandon`] decided about a failed lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Requeue {
+    /// The cell goes back on the queue for attempt `attempt`.
+    Retry {
+        /// The pending index requeued.
+        index: usize,
+        /// The next attempt number.
+        attempt: u32,
+    },
+    /// Attempts exhausted: the cell is recorded as a structured failure.
+    Exhausted {
+        /// The pending index that failed permanently.
+        index: usize,
+    },
+}
+
+/// The supervisor's ledger over pending indices `0..total`.
+#[derive(Debug)]
+pub(crate) struct LeaseBook {
+    next_id: u64,
+    max_attempts: u32,
+    /// `(pending index, attempt)` awaiting a worker, front first.
+    queue: VecDeque<(usize, u32)>,
+    /// Lease id → `(pending index, attempt)` currently on a worker.
+    outstanding: HashMap<u64, (usize, u32)>,
+    /// Pending indices resolved with a fresh result.
+    resolved: usize,
+    total: usize,
+    /// Pending index → error text, for cells that exhausted attempts or
+    /// failed non-retryably.
+    failed: BTreeMap<usize, String>,
+    /// Results discarded because their lease was superseded.
+    stale: u64,
+}
+
+impl LeaseBook {
+    /// A book over pending indices `0..total`, each allowed
+    /// `max_attempts` attempts (floored at 1).
+    pub fn new(total: usize, max_attempts: u32) -> LeaseBook {
+        LeaseBook {
+            next_id: 0,
+            max_attempts: max_attempts.max(1),
+            queue: (0..total).map(|i| (i, 0)).collect(),
+            outstanding: HashMap::new(),
+            resolved: 0,
+            total,
+            failed: BTreeMap::new(),
+            stale: 0,
+        }
+    }
+
+    /// Issues the next queued lease as `(id, index, attempt)`, or `None`
+    /// when the queue is empty.
+    pub fn issue(&mut self) -> Option<(u64, usize, u32)> {
+        let (index, attempt) = self.queue.pop_front()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.outstanding.insert(id, (index, attempt));
+        Some((id, index, attempt))
+    }
+
+    /// Records a result arriving for lease `id`.
+    pub fn complete(&mut self, id: u64) -> Delivery {
+        match self.outstanding.remove(&id) {
+            Some((index, _)) => {
+                self.resolved += 1;
+                Delivery::Fresh(index)
+            }
+            None => {
+                self.stale += 1;
+                Delivery::Stale
+            }
+        }
+    }
+
+    /// Abandons outstanding lease `id` (worker died, hung, or timed
+    /// out): requeues the cell at the front — the retried cell is the
+    /// flush cursor's likely blocker — or, when attempts are exhausted,
+    /// records `error` as the cell's structured failure. `None` when the
+    /// lease was not outstanding (already resolved — nothing to do).
+    pub fn abandon(&mut self, id: u64, error: &str) -> Option<Requeue> {
+        let (index, attempt) = self.outstanding.remove(&id)?;
+        if attempt + 1 >= self.max_attempts {
+            self.failed.insert(index, error.to_string());
+            Some(Requeue::Exhausted { index })
+        } else {
+            self.queue.push_front((index, attempt + 1));
+            Some(Requeue::Retry {
+                index,
+                attempt: attempt + 1,
+            })
+        }
+    }
+
+    /// Records a non-retryable failure for outstanding lease `id` (the
+    /// worker reported a cell error — the same cell fails the same way
+    /// everywhere, so retrying is pointless). `None` when not
+    /// outstanding (stale error — counted like a stale result).
+    pub fn fail(&mut self, id: u64, error: &str) -> Option<usize> {
+        match self.outstanding.remove(&id) {
+            Some((index, _)) => {
+                self.failed.insert(index, error.to_string());
+                Some(index)
+            }
+            None => {
+                self.stale += 1;
+                None
+            }
+        }
+    }
+
+    /// `true` once every pending index is resolved or failed.
+    pub fn all_resolved(&self) -> bool {
+        self.resolved + self.failed.len() == self.total
+    }
+
+    /// Pending indices not yet resolved or failed.
+    pub fn unresolved(&self) -> usize {
+        self.total - self.resolved - self.failed.len()
+    }
+
+    /// Structured failures by pending index, in index order.
+    pub fn failed(&self) -> &BTreeMap<usize, String> {
+        &self.failed
+    }
+
+    /// Results discarded as stale so far.
+    #[cfg(test)]
+    pub fn stale(&self) -> u64 {
+        self.stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_issue_in_pending_order_with_unique_ids() {
+        let mut book = LeaseBook::new(3, 3);
+        let a = book.issue().unwrap();
+        let b = book.issue().unwrap();
+        let c = book.issue().unwrap();
+        assert_eq!((a.1, b.1, c.1), (0, 1, 2));
+        assert_ne!(a.0, b.0);
+        assert_eq!(book.issue(), None);
+        assert_eq!(book.unresolved(), 3);
+    }
+
+    #[test]
+    fn fresh_then_stale_delivery() {
+        let mut book = LeaseBook::new(2, 3);
+        let (id, index, _) = book.issue().unwrap();
+        assert_eq!(book.complete(id), Delivery::Fresh(index));
+        // The same lease answered twice: second delivery is stale.
+        assert_eq!(book.complete(id), Delivery::Stale);
+        assert_eq!(book.stale(), 1);
+        assert!(!book.all_resolved());
+    }
+
+    #[test]
+    fn result_after_reissue_is_stale_and_reissue_wins() {
+        let mut book = LeaseBook::new(1, 3);
+        let (first, _, _) = book.issue().unwrap();
+        // Worker presumed dead: abandon and re-issue.
+        assert_eq!(
+            book.abandon(first, "heartbeat gap"),
+            Some(Requeue::Retry {
+                index: 0,
+                attempt: 1
+            })
+        );
+        let (second, index, attempt) = book.issue().unwrap();
+        assert_eq!((index, attempt), (0, 1));
+        // The "dead" worker's result limps in afterwards: stale.
+        assert_eq!(book.complete(first), Delivery::Stale);
+        assert_eq!(book.stale(), 1);
+        // The re-issue's result is the one that counts.
+        assert_eq!(book.complete(second), Delivery::Fresh(0));
+        assert!(book.all_resolved());
+    }
+
+    #[test]
+    fn attempts_cap_then_structured_failure() {
+        let mut book = LeaseBook::new(2, 2);
+        let (id, _, _) = book.issue().unwrap();
+        assert!(matches!(
+            book.abandon(id, "timeout"),
+            Some(Requeue::Retry {
+                index: 0,
+                attempt: 1
+            })
+        ));
+        let (id, _, _) = book.issue().unwrap();
+        assert_eq!(
+            book.abandon(id, "timeout again"),
+            Some(Requeue::Exhausted { index: 0 })
+        );
+        assert_eq!(
+            book.failed().get(&0).map(String::as_str),
+            Some("timeout again")
+        );
+        assert_eq!(book.unresolved(), 1);
+        // The second cell still completes; the campaign keeps going.
+        let (id, index, _) = book.issue().unwrap();
+        assert_eq!(index, 1);
+        assert_eq!(book.complete(id), Delivery::Fresh(1));
+        assert!(book.all_resolved());
+    }
+
+    #[test]
+    fn abandoned_cell_requeues_at_the_front() {
+        let mut book = LeaseBook::new(3, 3);
+        let (id, _, _) = book.issue().unwrap(); // index 0 outstanding
+        book.abandon(id, "crash");
+        // The retry preempts indices 1 and 2.
+        let (_, index, attempt) = book.issue().unwrap();
+        assert_eq!((index, attempt), (0, 1));
+    }
+
+    #[test]
+    fn cell_error_is_terminal_and_stale_errors_counted() {
+        let mut book = LeaseBook::new(1, 3);
+        let (id, _, _) = book.issue().unwrap();
+        assert_eq!(book.fail(id, "unknown protocol"), Some(0));
+        assert!(book.all_resolved());
+        assert_eq!(book.fail(id, "echo"), None);
+        assert_eq!(book.stale(), 1);
+    }
+
+    #[test]
+    fn abandon_after_completion_is_a_no_op() {
+        let mut book = LeaseBook::new(1, 3);
+        let (id, _, _) = book.issue().unwrap();
+        assert_eq!(book.complete(id), Delivery::Fresh(0));
+        assert_eq!(book.abandon(id, "late timeout sweep"), None);
+        assert!(book.all_resolved());
+    }
+}

@@ -1,0 +1,48 @@
+//! Multi-process campaign execution: a supervisor that shards a cell
+//! list into leases and drives worker **subprocesses** over a JSONL
+//! stdin/stdout protocol, with heartbeats, per-cell timeouts, and
+//! crash-tolerant retry.
+//!
+//! # Parity contract
+//!
+//! The supervisor owns the journal and cache exactly as
+//! [`Engine`](crate::Engine) does
+//! and produces **byte-identical journals and stdout**: results arriving
+//! out of order are buffered and flushed in *pending order* — the first
+//! index per distinct un-cached hash in cell order — which is exactly the
+//! journal line order the in-process engine's wave fold produces (waves
+//! append in cell order within each wave, and waves partition the pending
+//! list in order, so the overall order never depends on wave size or
+//! scheduling). Stdout parity follows for free: the preset renderers are
+//! pure functions of the results vector.
+//!
+//! # Lease / heartbeat / retry state machine
+//!
+//! Each pending cell becomes a [`Lease`](proto::Lease). A lease is
+//! *queued* → *outstanding* (sent to a worker) → *resolved* (result
+//! journaled) or *abandoned* (worker died, hung past the heartbeat
+//! timeout, or overran the per-cell timeout — the worker is killed and
+//! the lease requeued with `attempt + 1`). After `max_attempts` failed
+//! attempts the cell is recorded as a structured failure and the campaign
+//! keeps going; the run then errors *after* all other cells completed,
+//! naming the first failed cell by cell order. A result arriving for a
+//! lease that was already re-issued is discarded and counted in
+//! `fleet.stale_results`.
+//!
+//! Degradation is graceful end to end: `--procs 1` never spawns, a spawn
+//! failure before any lease falls back to the in-process engine, and if
+//! every worker slot dies permanently the supervisor finishes the
+//! remaining leases inline.
+//!
+//! All `fleet.*` telemetry counters are observe-only: journals, results,
+//! and stdout are byte-identical with telemetry on or off.
+
+mod lease;
+mod proto;
+mod state;
+mod supervisor;
+mod worker;
+
+pub use state::{fleet_sidecar_path, scan_fleet_sidecar, FleetStatus};
+pub use supervisor::{Fleet, FleetConfig};
+pub use worker::worker_main;

@@ -1,0 +1,285 @@
+//! The supervisor↔worker wire protocol: one flat JSON object per line,
+//! encoded with the same hand-rolled field helpers the journal uses, so
+//! a cell serialises identically on the wire and in the journal.
+//!
+//! Supervisor → worker lines are [`ToWorker`]; worker → supervisor lines
+//! are [`FromWorker`]. Both sides skip lines they cannot parse (the same
+//! forward-compatibility contract as the journal reader), so a partial
+//! line from a killed peer never wedges the other side.
+
+use std::fmt::Write as _;
+
+use crate::cell::{
+    cell_fields_json, cell_from_flat_json, json_str_field, json_u64_field, result_fields_json,
+    result_from_flat_json, Cell, CellResult,
+};
+
+/// One unit of leased work: the pending-order position `index` plus the
+/// fully-resolved cell, tagged with a unique lease id and the attempt
+/// number (0 on first issue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Lease {
+    /// Unique per supervisor run; never reused, so a stale result from a
+    /// superseded lease is distinguishable from the re-issue's result.
+    pub id: u64,
+    /// Position in the supervisor's pending order.
+    pub index: usize,
+    /// 0-based retry attempt.
+    pub attempt: u32,
+    /// The cell to execute.
+    pub cell: Cell,
+}
+
+/// Supervisor → worker messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ToWorker {
+    /// Execute this lease and reply with `Result` or `CellError`.
+    Lease(Lease),
+    /// Finish up and exit cleanly.
+    Shutdown,
+}
+
+/// Worker → supervisor messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum FromWorker {
+    /// Sent once on startup.
+    Ready {
+        /// The worker's OS process id (for diagnostics).
+        pid: u32,
+    },
+    /// Liveness beacon emitted periodically while a lease executes.
+    Heartbeat {
+        /// The lease being executed.
+        id: u64,
+    },
+    /// A lease completed successfully.
+    Result {
+        /// The lease id this result answers.
+        id: u64,
+        /// Echo of the lease's pending-order position.
+        index: usize,
+        /// The executed cell's result.
+        result: CellResult,
+    },
+    /// A lease failed validation or execution (non-retryable: the same
+    /// cell fails the same way everywhere).
+    CellError {
+        /// The lease id this error answers.
+        id: u64,
+        /// Echo of the lease's pending-order position.
+        index: usize,
+        /// Sanitised error text (see [`sanitize`]).
+        error: String,
+    },
+}
+
+/// Strips characters that would break the flat-JSON line format: `"`
+/// becomes `'`, `\` becomes `/`, and control characters become spaces.
+/// Lossy by design — error text is for humans, and keeping the encoder
+/// escape-free keeps the field extractors exact.
+pub(crate) fn sanitize(text: &str) -> String {
+    text.chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\\' => '/',
+            c if c.is_control() => ' ',
+            c => c,
+        })
+        .collect()
+}
+
+impl ToWorker {
+    /// Encodes as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            ToWorker::Lease(lease) => format!(
+                "{{\"type\":\"lease\",\"id\":{},\"index\":{},\"attempt\":{},{}}}",
+                lease.id,
+                lease.index,
+                lease.attempt,
+                cell_fields_json(&lease.cell),
+            ),
+            ToWorker::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Decodes a line; `None` for malformed, truncated, or unknown-type
+    /// lines.
+    pub fn from_jsonl(line: &str) -> Option<ToWorker> {
+        let line = line.trim();
+        if !line.ends_with('}') {
+            return None;
+        }
+        match json_str_field(line, "type")? {
+            "lease" => Some(ToWorker::Lease(Lease {
+                id: json_u64_field(line, "id")?,
+                index: usize::try_from(json_u64_field(line, "index")?).ok()?,
+                attempt: u32::try_from(json_u64_field(line, "attempt")?).ok()?,
+                cell: cell_from_flat_json(line)?,
+            })),
+            "shutdown" => Some(ToWorker::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+impl FromWorker {
+    /// Encodes as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            FromWorker::Ready { pid } => format!("{{\"type\":\"ready\",\"pid\":{pid}}}"),
+            FromWorker::Heartbeat { id } => format!("{{\"type\":\"heartbeat\",\"id\":{id}}}"),
+            FromWorker::Result { id, index, result } => format!(
+                "{{\"type\":\"result\",\"id\":{},\"index\":{},{}}}",
+                id,
+                index,
+                result_fields_json(result),
+            ),
+            FromWorker::CellError { id, index, error } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"cell_error\",\"id\":{},\"index\":{},\"error\":\"{}\"}}",
+                    id,
+                    index,
+                    sanitize(error),
+                );
+                s
+            }
+        }
+    }
+
+    /// Decodes a line; `None` for malformed, truncated, or unknown-type
+    /// lines.
+    pub fn from_jsonl(line: &str) -> Option<FromWorker> {
+        let line = line.trim();
+        if !line.ends_with('}') {
+            return None;
+        }
+        match json_str_field(line, "type")? {
+            "ready" => Some(FromWorker::Ready {
+                pid: u32::try_from(json_u64_field(line, "pid")?).ok()?,
+            }),
+            "heartbeat" => Some(FromWorker::Heartbeat {
+                id: json_u64_field(line, "id")?,
+            }),
+            "result" => Some(FromWorker::Result {
+                id: json_u64_field(line, "id")?,
+                index: usize::try_from(json_u64_field(line, "index")?).ok()?,
+                result: result_from_flat_json(line)?,
+            }),
+            "cell_error" => Some(FromWorker::CellError {
+                id: json_u64_field(line, "id")?,
+                index: usize::try_from(json_u64_field(line, "index")?).ok()?,
+                error: json_str_field(line, "error")?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lease() -> Lease {
+        Lease {
+            id: 7,
+            index: 3,
+            attempt: 1,
+            cell: Cell {
+                seed: 42,
+                runs: 3,
+                ..Cell::new("synran", "balancer", 16)
+            },
+        }
+    }
+
+    #[test]
+    fn to_worker_round_trips() {
+        for msg in [ToWorker::Lease(sample_lease()), ToWorker::Shutdown] {
+            let line = msg.to_jsonl();
+            assert_eq!(ToWorker::from_jsonl(&line), Some(msg.clone()), "{line}");
+        }
+    }
+
+    #[test]
+    fn from_worker_round_trips() {
+        let msgs = [
+            FromWorker::Ready { pid: 1234 },
+            FromWorker::Heartbeat { id: 9 },
+            FromWorker::Result {
+                id: 7,
+                index: 3,
+                result: CellResult {
+                    rounds: vec![5, 7],
+                    kills: vec![2, 0],
+                    timeouts: 1,
+                    violations: 0,
+                },
+            },
+            FromWorker::CellError {
+                id: 8,
+                index: 4,
+                error: "unknown protocol 'bogus'".to_string(),
+            },
+        ];
+        for msg in msgs {
+            let line = msg.to_jsonl();
+            assert_eq!(FromWorker::from_jsonl(&line), Some(msg.clone()), "{line}");
+        }
+    }
+
+    #[test]
+    fn sanitize_strips_format_breakers() {
+        assert_eq!(sanitize("a \"b\" \\c\nd"), "a 'b' /c d");
+        let msg = FromWorker::CellError {
+            id: 1,
+            index: 0,
+            error: "quote\" backslash\\ newline\n".to_string(),
+        };
+        let line = msg.to_jsonl();
+        let decoded = FromWorker::from_jsonl(&line).expect("decodes after sanitising");
+        match decoded {
+            FromWorker::CellError { error, .. } => {
+                assert_eq!(error, "quote' backslash/ newline ");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        for line in [
+            "",
+            "{",
+            "{\"type\":\"lease\",\"id\":1}",
+            "not json}",
+            "{\"type\":\"mystery\"}",
+        ] {
+            assert_eq!(ToWorker::from_jsonl(line), None, "{line:?}");
+            assert_eq!(FromWorker::from_jsonl(line), None, "{line:?}");
+        }
+        // A truncated result line (killed worker mid-write).
+        let full = FromWorker::Result {
+            id: 1,
+            index: 0,
+            result: CellResult::default(),
+        }
+        .to_jsonl();
+        assert_eq!(FromWorker::from_jsonl(&full[..full.len() - 2]), None);
+    }
+
+    #[test]
+    fn lease_cell_encoding_matches_journal_encoding() {
+        // The wire fragment must be the exact journal fragment, so the
+        // supervisor can journal a worker's result without re-deriving
+        // anything about the cell.
+        let lease = sample_lease();
+        let wire = ToWorker::Lease(lease.clone()).to_jsonl();
+        let journal = crate::cell::to_jsonl(&lease.cell, &CellResult::default());
+        let fragment = cell_fields_json(&lease.cell);
+        assert!(wire.contains(&fragment));
+        assert!(journal.contains(&fragment));
+    }
+}

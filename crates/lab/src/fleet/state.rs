@@ -1,0 +1,252 @@
+//! The fleet sidecar: a small append-only JSONL file next to the
+//! campaign journal (`<campaign>.fleet.jsonl`) recording lease traffic,
+//! worker restarts, and structured failures, so `campaign status` can
+//! surface in-flight fleet state while a supervisor runs — and after a
+//! crash. Plain (in-process) runs never create it; a clean zero-failure
+//! fleet run removes it on completion.
+//!
+//! Like every reader in this crate, the scanner tolerates truncation and
+//! unknown lines — a supervisor killed mid-write must not wedge
+//! `campaign status`.
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::cell::json_u64_field;
+use crate::LabError;
+
+/// Where a fleet run's sidecar lives: `<name>.fleet.jsonl` next to the
+/// journal (`<name>.journal.jsonl`), or `<journal stem>.fleet.jsonl` for
+/// unconventional journal names.
+#[must_use]
+pub fn fleet_sidecar_path(journal: &Path) -> PathBuf {
+    let name = journal.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let base = name.strip_suffix(".journal.jsonl").unwrap_or_else(|| {
+        Path::new(name)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("campaign")
+    });
+    journal.with_file_name(format!("{base}.fleet.jsonl"))
+}
+
+/// In-flight fleet state distilled from a sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// Worker process count the supervisor started with.
+    pub procs: usize,
+    /// Distinct pending cells leased but neither resolved nor failed.
+    pub outstanding: usize,
+    /// Worker processes that died or were killed and replaced.
+    pub restarts: u64,
+    /// Cells recorded as structured failures.
+    pub failed: usize,
+}
+
+/// Appends fleet lifecycle events to the sidecar, one flushed line each,
+/// mirroring the journal's crash-tolerance discipline.
+#[derive(Debug)]
+pub(crate) struct SidecarWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl SidecarWriter {
+    /// Creates (truncating any stale predecessor) and writes the start
+    /// event.
+    pub fn create(journal: &Path, procs: usize) -> Result<SidecarWriter, LabError> {
+        let path = fleet_sidecar_path(journal);
+        let out = BufWriter::new(File::create(&path)?);
+        let mut writer = SidecarWriter { path, out };
+        writer.event(&format!(
+            "{{\"type\":\"fleet\",\"event\":\"start\",\"procs\":{procs}}}"
+        ))?;
+        Ok(writer)
+    }
+
+    fn event(&mut self, line: &str) -> Result<(), LabError> {
+        writeln!(self.out, "{line}")?;
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// A lease was issued (or re-issued) for pending index `index`.
+    pub fn lease(&mut self, index: usize, attempt: u32) -> Result<(), LabError> {
+        self.event(&format!(
+            "{{\"type\":\"fleet\",\"event\":\"lease\",\"index\":{index},\"attempt\":{attempt}}}"
+        ))
+    }
+
+    /// Pending index `index` resolved with a fresh result.
+    pub fn done(&mut self, index: usize) -> Result<(), LabError> {
+        self.event(&format!(
+            "{{\"type\":\"fleet\",\"event\":\"done\",\"index\":{index}}}"
+        ))
+    }
+
+    /// Pending index `index` was recorded as a structured failure.
+    pub fn failed(&mut self, index: usize) -> Result<(), LabError> {
+        self.event(&format!(
+            "{{\"type\":\"fleet\",\"event\":\"failed\",\"index\":{index}}}"
+        ))
+    }
+
+    /// A worker process died (or was killed) and its slot was recycled.
+    pub fn restart(&mut self) -> Result<(), LabError> {
+        self.event("{\"type\":\"fleet\",\"event\":\"restart\"}")
+    }
+
+    /// Removes the sidecar — the clean-completion path.
+    pub fn remove(self) -> Result<(), LabError> {
+        drop(self.out);
+        std::fs::remove_file(&self.path)?;
+        Ok(())
+    }
+}
+
+/// Scans a sidecar into a [`FleetStatus`]; `Ok(None)` when the file does
+/// not exist (a plain run, or a fleet run that completed cleanly).
+/// Malformed or truncated lines are skipped.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file exists but cannot be read.
+pub fn scan_fleet_sidecar(path: &Path) -> Result<Option<FleetStatus>, LabError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut procs = 0usize;
+    let mut restarts = 0u64;
+    let mut leased: BTreeSet<u64> = BTreeSet::new();
+    let mut done: BTreeSet<u64> = BTreeSet::new();
+    let mut failed: BTreeSet<u64> = BTreeSet::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        let line = line.trim();
+        if !line.ends_with('}') {
+            continue; // Truncated tail of a killed supervisor.
+        }
+        let Some(event) = crate::cell::json_str_field(line, "event") else {
+            continue;
+        };
+        match event {
+            "start" => {
+                if let Some(p) = json_u64_field(line, "procs") {
+                    procs = usize::try_from(p).unwrap_or(0);
+                }
+            }
+            "lease" => {
+                if let Some(i) = json_u64_field(line, "index") {
+                    leased.insert(i);
+                }
+            }
+            "done" => {
+                if let Some(i) = json_u64_field(line, "index") {
+                    done.insert(i);
+                }
+            }
+            "failed" => {
+                if let Some(i) = json_u64_field(line, "index") {
+                    failed.insert(i);
+                }
+            }
+            "restart" => restarts += 1,
+            _ => {}
+        }
+    }
+    let outstanding = leased
+        .iter()
+        .filter(|i| !done.contains(i) && !failed.contains(i))
+        .count();
+    Ok(Some(FleetStatus {
+        procs,
+        outstanding,
+        restarts,
+        failed: failed.len(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("synran-fleet-state-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sidecar_path_sits_next_to_the_journal() {
+        assert_eq!(
+            fleet_sidecar_path(Path::new("results/e3.journal.jsonl")),
+            PathBuf::from("results/e3.fleet.jsonl")
+        );
+        assert_eq!(
+            fleet_sidecar_path(Path::new("odd-name.jsonl")),
+            PathBuf::from("odd-name.fleet.jsonl")
+        );
+    }
+
+    #[test]
+    fn writer_and_scanner_round_trip_in_flight_state() {
+        let journal = tmpdir("roundtrip").join("demo.journal.jsonl");
+        let mut w = SidecarWriter::create(&journal, 4).unwrap();
+        w.lease(0, 0).unwrap();
+        w.lease(1, 0).unwrap();
+        w.done(0).unwrap();
+        w.restart().unwrap();
+        w.lease(1, 1).unwrap(); // re-issue after the restart
+        w.lease(2, 0).unwrap();
+        w.failed(2).unwrap();
+
+        let status = scan_fleet_sidecar(&fleet_sidecar_path(&journal))
+            .unwrap()
+            .expect("sidecar present");
+        assert_eq!(
+            status,
+            FleetStatus {
+                procs: 4,
+                outstanding: 1, // index 1: leased twice, never resolved
+                restarts: 1,
+                failed: 1,
+            }
+        );
+
+        w.remove().unwrap();
+        assert_eq!(
+            scan_fleet_sidecar(&fleet_sidecar_path(&journal)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn scanner_tolerates_truncation_and_noise() {
+        let dir = tmpdir("noise");
+        let path = dir.join("x.fleet.jsonl");
+        std::fs::write(
+            &path,
+            "{\"type\":\"fleet\",\"event\":\"start\",\"procs\":2}\n\
+             garbage line\n\
+             {\"type\":\"fleet\",\"event\":\"lease\",\"index\":0,\"attempt\":0}\n\
+             {\"type\":\"fleet\",\"event\":\"lease\",\"ind",
+        )
+        .unwrap();
+        let status = scan_fleet_sidecar(&path).unwrap().unwrap();
+        assert_eq!(status.procs, 2);
+        assert_eq!(status.outstanding, 1);
+    }
+
+    #[test]
+    fn missing_sidecar_is_none() {
+        assert_eq!(
+            scan_fleet_sidecar(Path::new("/nonexistent/x.fleet.jsonl")).unwrap(),
+            None
+        );
+    }
+}

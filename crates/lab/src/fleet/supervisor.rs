@@ -1,0 +1,807 @@
+//! The supervisor: owns the journal and cache through the wrapped
+//! [`Engine`], shards the pending cell list into leases, drives worker
+//! subprocesses, and flushes results in pending order so journal bytes
+//! are identical to the in-process engine's (see the module docs in
+//! [`crate::fleet`] for the full parity argument).
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use synran_sim::Telemetry;
+
+use crate::cell::{Cell, CellResult};
+use crate::engine::{pending_order, CellRunner, Engine};
+use crate::fleet::lease::{Delivery, LeaseBook, Requeue};
+use crate::fleet::proto::{FromWorker, Lease, ToWorker};
+use crate::fleet::state::SidecarWriter;
+use crate::registry::{run_cell, validate_cell};
+use crate::LabError;
+
+/// Spawn failures tolerated per worker slot before the slot is given up.
+const SPAWN_GIVE_UP: u32 = 3;
+
+/// Tuning knobs for a [`Fleet`] run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker subprocess count; `<= 1` means run in-process.
+    pub procs: usize,
+    /// Worker argv; empty means `current_exe() campaign worker`.
+    pub worker: Vec<String>,
+    /// A lease older than this is presumed wedged: the worker is killed
+    /// and the cell re-leased.
+    pub cell_timeout: Duration,
+    /// Silence longer than this from a worker with an active lease is
+    /// presumed death: kill and re-lease.
+    pub heartbeat_timeout: Duration,
+    /// How often workers beacon while a cell executes (exported to the
+    /// worker via `SYNRAN_FLEET_HEARTBEAT_MS`).
+    pub heartbeat_interval: Duration,
+    /// Attempts per cell before recording a structured failure.
+    pub max_attempts: u32,
+    /// Base respawn backoff, doubled per consecutive spawn failure.
+    pub backoff: Duration,
+}
+
+impl FleetConfig {
+    /// Defaults for `procs` workers: 600 s cell timeout, 10 s heartbeat
+    /// timeout, 200 ms heartbeat interval, 3 attempts, 100 ms backoff.
+    #[must_use]
+    pub fn new(procs: usize) -> FleetConfig {
+        FleetConfig {
+            procs,
+            worker: Vec::new(),
+            cell_timeout: Duration::from_secs(600),
+            heartbeat_timeout: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_millis(200),
+            max_attempts: 3,
+            backoff: Duration::from_millis(100),
+        }
+    }
+
+    /// [`new`](FleetConfig::new), then millisecond/count overrides from
+    /// `SYNRAN_FLEET_TIMEOUT_MS`, `SYNRAN_FLEET_HEARTBEAT_TIMEOUT_MS`,
+    /// `SYNRAN_FLEET_HEARTBEAT_MS`, `SYNRAN_FLEET_MAX_ATTEMPTS`, and
+    /// `SYNRAN_FLEET_BACKOFF_MS` — the test hooks.
+    #[must_use]
+    pub fn from_env(procs: usize) -> FleetConfig {
+        fn ms(var: &str) -> Option<Duration> {
+            std::env::var(var)
+                .ok()?
+                .parse()
+                .ok()
+                .map(Duration::from_millis)
+        }
+        let mut cfg = FleetConfig::new(procs);
+        if let Some(v) = ms("SYNRAN_FLEET_TIMEOUT_MS") {
+            cfg.cell_timeout = v;
+        }
+        if let Some(v) = ms("SYNRAN_FLEET_HEARTBEAT_TIMEOUT_MS") {
+            cfg.heartbeat_timeout = v;
+        }
+        if let Some(v) = ms("SYNRAN_FLEET_HEARTBEAT_MS") {
+            cfg.heartbeat_interval = v;
+        }
+        if let Some(v) = std::env::var("SYNRAN_FLEET_MAX_ATTEMPTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.max_attempts = v;
+        }
+        if let Some(v) = ms("SYNRAN_FLEET_BACKOFF_MS") {
+            cfg.backoff = v;
+        }
+        cfg
+    }
+}
+
+/// The multi-process campaign runner: an [`Engine`] (which keeps owning
+/// the journal, cache, telemetry, and progress sink) plus the process
+/// fleet that executes pending cells on its behalf.
+#[derive(Debug)]
+pub struct Fleet {
+    engine: Engine,
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Wraps an engine with fleet execution per `config`.
+    #[must_use]
+    pub fn new(engine: Engine, config: FleetConfig) -> Fleet {
+        Fleet { engine, config }
+    }
+
+    /// The wrapped engine (journal owner and run accounting).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl CellRunner for Fleet {
+    fn run_cells(&mut self, cells: &[Cell]) -> Result<Vec<CellResult>, LabError> {
+        if self.config.procs <= 1 {
+            return self.engine.run_cells(cells);
+        }
+        match run_fleet(&mut self.engine, &self.config, cells) {
+            Ok(results) => Ok(results),
+            Err(FleetError::Spawn(msg)) => {
+                eprintln!("fleet: {msg}; falling back to the in-process engine");
+                self.engine.run_cells(cells)
+            }
+            Err(FleetError::Lab(e)) => Err(e),
+        }
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        self.engine.telemetry()
+    }
+
+    fn executed(&self) -> usize {
+        self.engine.executed()
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.engine.cache_hits()
+    }
+}
+
+/// Internal error split: `Spawn` (no worker ever started — the caller
+/// falls back to the in-process engine) vs `Lab` (a real campaign
+/// error, surfaced as-is).
+enum FleetError {
+    Spawn(String),
+    Lab(LabError),
+}
+
+impl From<LabError> for FleetError {
+    fn from(e: LabError) -> FleetError {
+        FleetError::Lab(e)
+    }
+}
+
+/// The full fleet run: validate, cache-splice, drive the fleet over the
+/// pending order, return results in cell order.
+fn run_fleet(
+    engine: &mut Engine,
+    cfg: &FleetConfig,
+    cells: &[Cell],
+) -> Result<Vec<CellResult>, FleetError> {
+    let start = Instant::now();
+    // Fail fast — and deterministically, by cell order — before any
+    // process spawns. This covers every error the in-process engine can
+    // hit for resolvable-but-misconfigured cells.
+    for cell in cells {
+        validate_cell(cell)?;
+    }
+    let hashes: Vec<String> = cells.iter().map(Cell::content_hash).collect();
+    let mut results: Vec<Option<CellResult>> = hashes.iter().map(|h| engine.cache_get(h)).collect();
+    let warm = results.iter().filter(|r| r.is_some()).count();
+    engine.note_cache_hits(warm);
+    let pending = pending_order(&hashes, &results);
+
+    engine.emit_heartbeat(warm, cells.len(), 0, warm, start);
+
+    let mut run_executed = 0usize;
+    let failures = if pending.is_empty() {
+        BTreeMap::new()
+    } else {
+        let (tx, rx) = mpsc::channel();
+        let mut ctx = Ctx {
+            cfg,
+            cells,
+            hashes: &hashes,
+            pending: &pending,
+            telemetry: engine.telemetry().clone(),
+            engine,
+            results: &mut results,
+            book: LeaseBook::new(pending.len(), cfg.max_attempts),
+            workers: HashMap::new(),
+            next_wid: 0,
+            respawn: Vec::new(),
+            arrived: HashMap::new(),
+            cursor: 0,
+            sidecar: None,
+            argv: worker_argv(cfg).map_err(FleetError::Spawn)?,
+            tx,
+            rx,
+            run_executed: 0,
+            warm,
+            last_beat: warm,
+            start,
+        };
+        let outcome = ctx.drive();
+        // Kill and reap every worker no matter how the drive ended — a
+        // hung worker never exits on its own.
+        for (_, mut worker) in ctx.workers.drain() {
+            let _ = writeln!(worker.stdin, "{}", ToWorker::Shutdown.to_jsonl());
+            let _ = worker.stdin.flush();
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+        }
+        run_executed = ctx.run_executed;
+        let failures = ctx.book.failed().clone();
+        let sidecar = ctx.sidecar.take();
+        outcome?;
+        if let Some(sidecar) = sidecar {
+            if failures.is_empty() {
+                sidecar.remove()?;
+            }
+        }
+        failures
+    };
+
+    engine.finish_counters(cells.len(), run_executed, warm, start);
+
+    if let Some((&pi, error)) = failures.iter().next() {
+        // First failure by pending order is also first by cell order:
+        // pending is ascending in cell index.
+        let cell = &cells[pending[pi]];
+        return Err(FleetError::Lab(LabError::Fleet(format!(
+            "cell {} ({}/{} n={} seed={}) failed permanently: {} ({} of {} cells failed)",
+            pending[pi],
+            cell.protocol,
+            cell.adversary,
+            cell.n,
+            cell.seed,
+            error,
+            failures.len(),
+            pending.len(),
+        ))));
+    }
+
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every cell executed or cached"))
+        .collect())
+}
+
+/// Resolves the worker argv: explicit from config, or this very binary's
+/// hidden `campaign worker` subcommand.
+fn worker_argv(cfg: &FleetConfig) -> Result<Vec<String>, String> {
+    if !cfg.worker.is_empty() {
+        return Ok(cfg.worker.clone());
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot resolve current exe: {e}"))?;
+    Ok(vec![
+        exe.to_string_lossy().into_owned(),
+        "campaign".to_string(),
+        "worker".to_string(),
+    ])
+}
+
+/// One live worker subprocess.
+struct WorkerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    /// `(lease id, issue time)` of the cell it is executing, if any.
+    lease: Option<(u64, Instant)>,
+    /// Last time any message arrived from it.
+    last_msg: Instant,
+}
+
+/// What a reader thread forwards about its worker.
+enum Event {
+    Msg(FromWorker),
+    Eof,
+}
+
+/// A worker slot awaiting respawn: due time plus consecutive spawn
+/// failures so far.
+struct RespawnSlot {
+    due: Instant,
+    fails: u32,
+}
+
+/// All mutable state of one fleet drive.
+struct Ctx<'a> {
+    cfg: &'a FleetConfig,
+    cells: &'a [Cell],
+    hashes: &'a [String],
+    /// Pending order: `pending[i]` is the cell index of pending slot `i`.
+    pending: &'a [usize],
+    telemetry: Telemetry,
+    engine: &'a mut Engine,
+    results: &'a mut Vec<Option<CellResult>>,
+    book: LeaseBook,
+    workers: HashMap<usize, WorkerHandle>,
+    next_wid: usize,
+    respawn: Vec<RespawnSlot>,
+    /// Fresh results buffered until the flush cursor reaches them.
+    arrived: HashMap<usize, CellResult>,
+    /// Next pending index to journal — results flush strictly in
+    /// pending order, which is the parity-critical invariant.
+    cursor: usize,
+    sidecar: Option<SidecarWriter>,
+    argv: Vec<String>,
+    tx: mpsc::Sender<(usize, Event)>,
+    rx: mpsc::Receiver<(usize, Event)>,
+    run_executed: usize,
+    warm: usize,
+    last_beat: usize,
+    start: Instant,
+}
+
+impl Ctx<'_> {
+    /// The supervisor loop: spawn, lease, listen, sweep, flush — until
+    /// every pending cell is resolved or failed.
+    fn drive(&mut self) -> Result<(), FleetError> {
+        let target = self.cfg.procs.min(self.pending.len());
+        let mut last_spawn_err = String::new();
+        for _ in 0..target {
+            if let Err(e) = self.spawn_worker() {
+                last_spawn_err = e;
+            }
+        }
+        if self.workers.is_empty() {
+            return Err(FleetError::Spawn(last_spawn_err));
+        }
+        if let Some(journal) = self.engine.journal_path() {
+            self.sidecar = Some(SidecarWriter::create(journal, self.cfg.procs)?);
+        }
+
+        loop {
+            if self.book.all_resolved() {
+                return Ok(());
+            }
+            self.process_respawns();
+            if self.workers.is_empty() && self.respawn.is_empty() {
+                // Every worker slot died permanently: graceful
+                // degradation — finish the remaining leases inline.
+                self.run_inline()?;
+            }
+            self.assign_leases()?;
+            self.drain_events()?;
+            self.sweep_deadlines()?;
+            self.flush_ready()?;
+        }
+    }
+
+    /// Spawns one worker subprocess plus its reader thread.
+    fn spawn_worker(&mut self) -> Result<(), String> {
+        let wid = self.next_wid;
+        self.next_wid += 1;
+        let mut child = Command::new(&self.argv[0])
+            .args(&self.argv[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .env(
+                "SYNRAN_FLEET_HEARTBEAT_MS",
+                self.cfg.heartbeat_interval.as_millis().to_string(),
+            )
+            .spawn()
+            .map_err(|e| format!("spawn {:?} failed: {e}", self.argv[0]))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if let Some(msg) = FromWorker::from_jsonl(&line) {
+                    if tx.send((wid, Event::Msg(msg))).is_err() {
+                        return;
+                    }
+                }
+            }
+            let _ = tx.send((wid, Event::Eof));
+        });
+        self.workers.insert(
+            wid,
+            WorkerHandle {
+                child,
+                stdin,
+                lease: None,
+                last_msg: Instant::now(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Brings due respawn slots back up, dropping slots that are no
+    /// longer needed or that failed to spawn too many times in a row.
+    fn process_respawns(&mut self) {
+        let now = Instant::now();
+        let due: Vec<RespawnSlot> = {
+            let (due, later) = std::mem::take(&mut self.respawn)
+                .into_iter()
+                .partition(|slot| slot.due <= now);
+            self.respawn = later;
+            due
+        };
+        for slot in due {
+            if self.workers.len() >= self.cfg.procs.min(self.book.unresolved()) {
+                continue; // Shrink the fleet as the tail drains.
+            }
+            match self.spawn_worker() {
+                Ok(()) => {}
+                Err(msg) => {
+                    let fails = slot.fails + 1;
+                    if fails >= SPAWN_GIVE_UP {
+                        eprintln!("fleet: giving up worker slot: {msg}");
+                    } else {
+                        self.respawn.push(RespawnSlot {
+                            due: now + self.cfg.backoff * 2u32.saturating_pow(fails),
+                            fails,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hands queued leases to idle workers.
+    fn assign_leases(&mut self) -> Result<(), FleetError> {
+        let mut dead: Vec<(usize, u64)> = Vec::new();
+        let wids: Vec<usize> = self.workers.keys().copied().collect();
+        for wid in wids {
+            let Some(worker) = self.workers.get(&wid) else {
+                continue;
+            };
+            if worker.lease.is_some() {
+                continue;
+            }
+            let Some((id, index, attempt)) = self.book.issue() else {
+                break;
+            };
+            self.telemetry.incr(
+                if attempt == 0 {
+                    "fleet.leases.issued"
+                } else {
+                    "fleet.leases.reissued"
+                },
+                1,
+            );
+            if let Some(sidecar) = &mut self.sidecar {
+                sidecar.lease(index, attempt)?;
+            }
+            let lease = Lease {
+                id,
+                index,
+                attempt,
+                cell: self.cells[self.pending[index]].clone(),
+            };
+            let worker = self.workers.get_mut(&wid).expect("checked above");
+            let sent = writeln!(worker.stdin, "{}", ToWorker::Lease(lease).to_jsonl())
+                .and_then(|()| worker.stdin.flush());
+            match sent {
+                Ok(()) => {
+                    let now = Instant::now();
+                    worker.lease = Some((id, now));
+                    worker.last_msg = now;
+                }
+                Err(_) => dead.push((wid, id)), // EPIPE: the worker is gone.
+            }
+        }
+        for (wid, id) in dead {
+            self.abandon_lease(id, "worker pipe closed")?;
+            self.retire_worker(wid)?;
+        }
+        Ok(())
+    }
+
+    /// Drains worker messages: one blocking receive (bounded, so the
+    /// deadline sweep still runs on schedule) then everything queued.
+    fn drain_events(&mut self) -> Result<(), FleetError> {
+        match self.rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(event) => {
+                self.handle_event(event)?;
+                while let Ok(event) = self.rx.try_recv() {
+                    self.handle_event(event)?;
+                }
+                Ok(())
+            }
+            Err(mpsc::RecvTimeoutError::Timeout | mpsc::RecvTimeoutError::Disconnected) => Ok(()),
+        }
+    }
+
+    fn handle_event(&mut self, (wid, event): (usize, Event)) -> Result<(), FleetError> {
+        match event {
+            Event::Msg(msg) => {
+                let now = Instant::now();
+                let current_lease = match self.workers.get_mut(&wid) {
+                    Some(worker) => {
+                        worker.last_msg = now;
+                        worker.lease.map(|(id, _)| id)
+                    }
+                    // A message from a worker already killed/retired can
+                    // still surface from its pipe buffer — the classic
+                    // stale-result source. Process it through the book.
+                    None => None,
+                };
+                match msg {
+                    FromWorker::Ready { .. } | FromWorker::Heartbeat { .. } => {}
+                    FromWorker::Result { id, result, .. } => match self.book.complete(id) {
+                        Delivery::Fresh(index) => {
+                            self.arrived.insert(index, result);
+                            if let Some(sidecar) = &mut self.sidecar {
+                                sidecar.done(index)?;
+                            }
+                            if current_lease == Some(id) {
+                                if let Some(worker) = self.workers.get_mut(&wid) {
+                                    worker.lease = None;
+                                }
+                            }
+                        }
+                        Delivery::Stale => {
+                            self.telemetry.incr("fleet.stale_results", 1);
+                        }
+                    },
+                    FromWorker::CellError { id, error, .. } => match self.book.fail(id, &error) {
+                        Some(index) => {
+                            self.telemetry.incr("fleet.cells.failed", 1);
+                            if let Some(sidecar) = &mut self.sidecar {
+                                sidecar.failed(index)?;
+                            }
+                            if current_lease == Some(id) {
+                                if let Some(worker) = self.workers.get_mut(&wid) {
+                                    worker.lease = None;
+                                }
+                            }
+                        }
+                        None => {
+                            self.telemetry.incr("fleet.stale_results", 1);
+                        }
+                    },
+                }
+            }
+            Event::Eof => {
+                let Some(lease) = self.workers.get(&wid).map(|w| w.lease) else {
+                    return Ok(()); // Already retired by a deadline sweep.
+                };
+                if let Some((id, _)) = lease {
+                    self.abandon_lease(id, "worker exited mid-lease")?;
+                }
+                self.retire_worker(wid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Kills workers whose lease overran the cell timeout or whose
+    /// heartbeats went silent, and re-leases their cells.
+    fn sweep_deadlines(&mut self) -> Result<(), FleetError> {
+        let now = Instant::now();
+        let mut expired: Vec<(usize, u64, &'static str, bool)> = Vec::new();
+        for (&wid, worker) in &self.workers {
+            let Some((id, issued)) = worker.lease else {
+                continue; // Idle workers do not heartbeat.
+            };
+            if now.duration_since(issued) >= self.cfg.cell_timeout {
+                expired.push((wid, id, "cell timeout exceeded", false));
+            } else if now.duration_since(worker.last_msg) >= self.cfg.heartbeat_timeout {
+                expired.push((wid, id, "heartbeat gap", true));
+            }
+        }
+        for (wid, id, reason, gap) in expired {
+            if gap {
+                self.telemetry.incr("fleet.heartbeat.gaps", 1);
+            }
+            self.abandon_lease(id, reason)?;
+            self.retire_worker(wid)?;
+        }
+        Ok(())
+    }
+
+    /// Requeues (or fails out) an abandoned lease.
+    fn abandon_lease(&mut self, id: u64, reason: &str) -> Result<(), FleetError> {
+        match self.book.abandon(id, reason) {
+            Some(Requeue::Retry { .. }) | None => {}
+            Some(Requeue::Exhausted { index }) => {
+                self.telemetry.incr("fleet.cells.failed", 1);
+                if let Some(sidecar) = &mut self.sidecar {
+                    sidecar.failed(index)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Kills, reaps, and removes a worker, scheduling its slot for
+    /// respawn.
+    fn retire_worker(&mut self, wid: usize) -> Result<(), FleetError> {
+        let Some(mut worker) = self.workers.remove(&wid) else {
+            return Ok(());
+        };
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+        self.telemetry.incr("fleet.worker.restarts", 1);
+        if let Some(sidecar) = &mut self.sidecar {
+            sidecar.restart()?;
+        }
+        self.respawn.push(RespawnSlot {
+            due: Instant::now() + self.cfg.backoff,
+            fails: 0,
+        });
+        Ok(())
+    }
+
+    /// Last-resort degradation: every worker slot is gone, so the
+    /// supervisor executes the remaining leases itself, in-process.
+    /// Results are identical by construction (a cell's result is a pure
+    /// function of its fields) and telemetry stays off exactly as in a
+    /// worker.
+    fn run_inline(&mut self) -> Result<(), FleetError> {
+        while let Some((id, index, attempt)) = self.book.issue() {
+            self.telemetry.incr(
+                if attempt == 0 {
+                    "fleet.leases.issued"
+                } else {
+                    "fleet.leases.reissued"
+                },
+                1,
+            );
+            if let Some(sidecar) = &mut self.sidecar {
+                sidecar.lease(index, attempt)?;
+            }
+            match run_cell(&self.cells[self.pending[index]], &Telemetry::off()) {
+                Ok(result) => {
+                    self.book.complete(id);
+                    self.arrived.insert(index, result);
+                    if let Some(sidecar) = &mut self.sidecar {
+                        sidecar.done(index)?;
+                    }
+                }
+                Err(e) => {
+                    if let Some(failed) = self.book.fail(id, &e.to_string()) {
+                        self.telemetry.incr("fleet.cells.failed", 1);
+                        if let Some(sidecar) = &mut self.sidecar {
+                            sidecar.failed(failed)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Journals the contiguous prefix of arrived results, in pending
+    /// order — the invariant that makes fleet journals byte-identical
+    /// to the engine's. Failed cells journal nothing and are skipped.
+    fn flush_ready(&mut self) -> Result<(), FleetError> {
+        let mut flushed = false;
+        loop {
+            if let Some(result) = self.arrived.remove(&self.cursor) {
+                let i = self.pending[self.cursor];
+                self.engine
+                    .record(&self.cells[i], &self.hashes[i], result)?;
+                self.run_executed += 1;
+                self.cursor += 1;
+                flushed = true;
+            } else if self.book.failed().contains_key(&self.cursor) {
+                self.cursor += 1;
+            } else {
+                break;
+            }
+        }
+        if flushed {
+            for (i, slot) in self.results.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = self.engine.cache_get(&self.hashes[i]);
+                }
+            }
+            let done = self.results.iter().filter(|r| r.is_some()).count();
+            if let Some(every) = self.engine.progress_every() {
+                if done - self.last_beat >= every || done == self.cells.len() {
+                    self.last_beat = done;
+                    self.engine.emit_heartbeat(
+                        done,
+                        self.cells.len(),
+                        self.run_executed,
+                        self.warm,
+                        self.start,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("synran-fleet-sup-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn grid() -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for n in [8usize, 10] {
+            for seed in [1u64, 2] {
+                let mut cell = Cell::new("synran", "balancer", n);
+                cell.runs = 3;
+                cell.seed = seed;
+                cell.max_rounds = 100_000;
+                cells.push(cell);
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn procs_one_is_exactly_the_engine() {
+        let cells = grid();
+        let baseline = Engine::new(1, Telemetry::off()).run_cells(&cells).unwrap();
+        let mut fleet = Fleet::new(Engine::new(1, Telemetry::off()), FleetConfig::new(1));
+        assert_eq!(fleet.run_cells(&cells).unwrap(), baseline);
+        assert_eq!(fleet.executed(), cells.len());
+    }
+
+    #[test]
+    fn spawn_failure_falls_back_to_the_engine() {
+        let cells = grid();
+        let baseline = Engine::new(1, Telemetry::off()).run_cells(&cells).unwrap();
+        let mut config = FleetConfig::new(2);
+        config.worker = vec!["/nonexistent/synran-fleet-test-binary".to_string()];
+        let dir = tmpdir("fallback");
+        let path = dir.join("fb.journal.jsonl");
+        let (journal, cache) = Journal::open(&path).unwrap();
+        let engine = Engine::new(1, Telemetry::off()).with_journal(journal, cache);
+        let mut fleet = Fleet::new(engine, config);
+        assert_eq!(fleet.run_cells(&cells).unwrap(), baseline);
+        assert_eq!(fleet.executed(), cells.len());
+        // No sidecar lingers after a fallback run.
+        assert!(!crate::fleet::fleet_sidecar_path(&path).exists());
+    }
+
+    #[test]
+    fn unresponsive_workers_exhaust_attempts_into_a_structured_failure() {
+        let cells = grid()[..2].to_vec();
+        let mut config = FleetConfig::new(2);
+        // `cat` spawns fine but never speaks the protocol: every lease
+        // dies by heartbeat gap until attempts run out.
+        config.worker = vec!["cat".to_string()];
+        config.heartbeat_timeout = Duration::from_millis(100);
+        config.backoff = Duration::from_millis(10);
+        config.max_attempts = 2;
+        let dir = tmpdir("exhaust");
+        let path = dir.join("ex.journal.jsonl");
+        let (journal, cache) = Journal::open(&path).unwrap();
+        let telemetry = Telemetry::new(synran_sim::telemetry::TelemetryMode::Counters);
+        let engine = Engine::new(1, telemetry.clone()).with_journal(journal, cache);
+        let mut fleet = Fleet::new(engine, config);
+        let err = fleet.run_cells(&cells).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("fleet error"), "{msg}");
+        assert!(msg.contains("failed permanently"), "{msg}");
+        // The sidecar survives a failed run so `campaign status` can
+        // report it.
+        let status = crate::fleet::scan_fleet_sidecar(&crate::fleet::fleet_sidecar_path(&path))
+            .unwrap()
+            .expect("sidecar kept on failure");
+        assert_eq!(status.failed, 2);
+        assert_eq!(status.outstanding, 0);
+        assert!(status.restarts >= 4, "{status:?}");
+    }
+
+    #[test]
+    fn validation_errors_surface_before_any_spawn() {
+        let mut cells = grid();
+        cells[1].protocol = "bogus".into();
+        let mut config = FleetConfig::new(2);
+        // Would hang forever if a worker were consulted.
+        config.worker = vec!["cat".to_string()];
+        let mut fleet = Fleet::new(Engine::new(1, Telemetry::off()), config);
+        let err = fleet.run_cells(&cells).unwrap_err();
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn config_env_overrides_parse() {
+        // from_env reads five knobs; exercise the parse paths without
+        // touching the global environment (set-and-unset would race
+        // other tests), by checking the defaults survive absent vars.
+        let cfg = FleetConfig::from_env(4);
+        assert_eq!(cfg.procs, 4);
+        assert_eq!(cfg.max_attempts, 3);
+        assert_eq!(cfg.cell_timeout, Duration::from_secs(600));
+    }
+}

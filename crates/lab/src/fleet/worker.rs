@@ -1,0 +1,351 @@
+//! The worker side of the fleet protocol: read leases from stdin, run
+//! them, write results to stdout, and emit heartbeats while a cell is
+//! executing so the supervisor can tell "slow" from "dead".
+//!
+//! Workers run cells with [`Telemetry::off`] — per-cell simulator
+//! telemetry is not forwarded across the process boundary (observe-only
+//! by contract, so nothing the parity tests see can notice). Fault
+//! injection for the retry tests is wired through
+//! `SYNRAN_FLEET_FAULT=panic:cell=K|hang:cell=K`: the fault fires on the
+//! *first* attempt of pending index `K`, so the supervisor's re-lease of
+//! the same cell succeeds deterministically.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use synran_sim::Telemetry;
+
+use crate::fleet::proto::{FromWorker, Lease, ToWorker};
+use crate::registry::run_cell;
+
+/// A deterministic fault to inject, parsed from `SYNRAN_FLEET_FAULT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fault {
+    /// Panic (process death) on first attempt of this pending index.
+    Panic(usize),
+    /// Hang forever — while still heartbeating — on first attempt of
+    /// this pending index, exercising the per-cell timeout kill.
+    Hang(usize),
+}
+
+/// Parses `panic:cell=K` / `hang:cell=K`; `None` for anything else.
+pub(crate) fn parse_fault(spec: &str) -> Option<Fault> {
+    let (kind, rest) = spec.split_once(':')?;
+    let index = rest.strip_prefix("cell=")?.parse().ok()?;
+    match kind {
+        "panic" => Some(Fault::Panic(index)),
+        "hang" => Some(Fault::Hang(index)),
+        _ => None,
+    }
+}
+
+/// Serves the worker protocol over the given streams until `Shutdown`,
+/// EOF, or a write failure (supervisor gone — exit quietly).
+///
+/// One lease executes at a time; a heartbeat line is written every
+/// `heartbeat_every` while it runs.
+pub(crate) fn serve(
+    input: impl BufRead,
+    output: impl Write + Send,
+    heartbeat_every: Duration,
+    fault: Option<Fault>,
+) {
+    let out = Mutex::new(output);
+    let send = |msg: &FromWorker| -> bool {
+        let mut out = out.lock().unwrap();
+        writeln!(out, "{}", msg.to_jsonl())
+            .and_then(|()| out.flush())
+            .is_ok()
+    };
+
+    if !send(&FromWorker::Ready {
+        pid: std::process::id(),
+    }) {
+        return;
+    }
+
+    for line in input.lines() {
+        let Ok(line) = line else { return };
+        match ToWorker::from_jsonl(&line) {
+            Some(ToWorker::Lease(lease)) => {
+                let reply = execute(&lease, heartbeat_every, fault, &send);
+                if !send(&reply) {
+                    return;
+                }
+            }
+            Some(ToWorker::Shutdown) => return,
+            None => {} // Skip what we don't understand.
+        }
+    }
+}
+
+/// Runs one lease with a heartbeat thread alongside, honouring the
+/// injected fault.
+fn execute(
+    lease: &Lease,
+    heartbeat_every: Duration,
+    fault: Option<Fault>,
+    send: &(impl Fn(&FromWorker) -> bool + Sync),
+) -> FromWorker {
+    let stopped = AtomicBool::new(false);
+    // Stop the heartbeat thread even when the cell panics — the scope's
+    // implicit join would otherwise deadlock the unwind and turn an
+    // injected (or real) panic into a silent hang.
+    struct StopGuard<'a>(&'a AtomicBool);
+    impl Drop for StopGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+    std::thread::scope(|scope| {
+        let _guard = StopGuard(&stopped);
+        scope.spawn(|| {
+            // Sleep in short slices so the final join never stalls a
+            // full heartbeat interval after the cell finishes.
+            let slice = Duration::from_millis(5).min(heartbeat_every);
+            let mut since_beat = Duration::ZERO;
+            while !stopped.load(Ordering::Acquire) {
+                std::thread::sleep(slice);
+                since_beat += slice;
+                if since_beat >= heartbeat_every {
+                    since_beat = Duration::ZERO;
+                    if !send(&FromWorker::Heartbeat { id: lease.id }) {
+                        return;
+                    }
+                }
+            }
+        });
+
+        let injected = fault.filter(|_| lease.attempt == 0);
+        match injected {
+            Some(Fault::Panic(k)) if k == lease.index => {
+                panic!("injected fault: panic on cell {k}");
+            }
+            Some(Fault::Hang(k)) if k == lease.index => loop {
+                // Heartbeats keep flowing; only the per-cell timeout
+                // can end this lease.
+                std::thread::sleep(Duration::from_millis(50));
+            },
+            _ => {}
+        }
+
+        match run_cell(&lease.cell, &Telemetry::off()) {
+            Ok(result) => FromWorker::Result {
+                id: lease.id,
+                index: lease.index,
+                result,
+            },
+            Err(e) => FromWorker::CellError {
+                id: lease.id,
+                index: lease.index,
+                error: e.to_string(),
+            },
+        }
+    })
+}
+
+/// Entry point for the hidden `synran campaign worker` subcommand:
+/// serves stdin→stdout, reading the heartbeat interval from
+/// `SYNRAN_FLEET_HEARTBEAT_MS` (default 200) and the fault hook from
+/// `SYNRAN_FLEET_FAULT`.
+pub fn worker_main() {
+    let heartbeat_every = std::env::var("SYNRAN_FLEET_HEARTBEAT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(200), Duration::from_millis);
+    let fault = std::env::var("SYNRAN_FLEET_FAULT")
+        .ok()
+        .as_deref()
+        .and_then(parse_fault);
+    let stdin = std::io::stdin();
+    serve(stdin.lock(), std::io::stdout(), heartbeat_every, fault);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    use crate::cell::Cell;
+
+    /// A `Write` that appends into a shared buffer, so the test can read
+    /// what `serve` wrote after it returns (or panics).
+    #[derive(Debug, Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn lease(index: usize, attempt: u32) -> Lease {
+        Lease {
+            id: 100 + index as u64,
+            index,
+            attempt,
+            cell: Cell {
+                runs: 2,
+                seed: 3,
+                max_rounds: 100_000,
+                ..Cell::new("synran", "balancer", 8)
+            },
+        }
+    }
+
+    fn messages(buf: &SharedBuf) -> Vec<FromWorker> {
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .filter_map(FromWorker::from_jsonl)
+            .collect()
+    }
+
+    #[test]
+    fn parse_fault_accepts_both_kinds_and_rejects_noise() {
+        assert_eq!(parse_fault("panic:cell=3"), Some(Fault::Panic(3)));
+        assert_eq!(parse_fault("hang:cell=0"), Some(Fault::Hang(0)));
+        for bad in ["", "panic", "panic:cell=", "explode:cell=1", "panic:idx=1"] {
+            assert_eq!(parse_fault(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_runs_leases_and_matches_direct_execution() {
+        let l0 = lease(0, 0);
+        let l1 = lease(1, 0);
+        let input = format!(
+            "{}\nnot a protocol line\n{}\n{}\n",
+            ToWorker::Lease(l0.clone()).to_jsonl(),
+            ToWorker::Lease(l1.clone()).to_jsonl(),
+            ToWorker::Shutdown.to_jsonl(),
+        );
+        let buf = SharedBuf::default();
+        serve(
+            Cursor::new(input),
+            buf.clone(),
+            Duration::from_secs(3600), // no heartbeats in this test
+            None,
+        );
+        let msgs = messages(&buf);
+        assert!(matches!(msgs[0], FromWorker::Ready { .. }));
+        let expected0 = run_cell(&l0.cell, &Telemetry::off()).unwrap();
+        assert_eq!(
+            msgs[1],
+            FromWorker::Result {
+                id: l0.id,
+                index: l0.index,
+                result: expected0
+            }
+        );
+        assert!(matches!(msgs[2], FromWorker::Result { id, .. } if id == l1.id));
+        assert_eq!(msgs.len(), 3);
+    }
+
+    #[test]
+    fn serve_reports_cell_errors_without_dying() {
+        let mut bad = lease(0, 0);
+        bad.cell.protocol = "bogus".into();
+        let good = lease(1, 0);
+        let input = format!(
+            "{}\n{}\n",
+            ToWorker::Lease(bad.clone()).to_jsonl(),
+            ToWorker::Lease(good.clone()).to_jsonl(),
+        );
+        let buf = SharedBuf::default();
+        serve(
+            Cursor::new(input),
+            buf.clone(),
+            Duration::from_secs(3600),
+            None,
+        );
+        let msgs = messages(&buf);
+        match &msgs[1] {
+            FromWorker::CellError { id, error, .. } => {
+                assert_eq!(*id, bad.id);
+                assert!(error.contains("bogus"), "{error}");
+            }
+            other => panic!("expected cell error, got {other:?}"),
+        }
+        assert!(matches!(msgs[2], FromWorker::Result { id, .. } if id == good.id));
+    }
+
+    #[test]
+    fn panic_fault_fires_only_on_first_attempt_of_target_cell() {
+        // Attempt 0 of cell 0 with panic:cell=0 → the serve call panics
+        // (in the real worker the process dies).
+        let input = format!("{}\n", ToWorker::Lease(lease(0, 0)).to_jsonl());
+        let buf = SharedBuf::default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve(
+                Cursor::new(input),
+                buf.clone(),
+                Duration::from_secs(3600),
+                Some(Fault::Panic(0)),
+            );
+        }));
+        assert!(result.is_err(), "injected panic must propagate");
+
+        // Attempt 1 of the same cell: the fault is spent — runs clean.
+        let input = format!("{}\n", ToWorker::Lease(lease(0, 1)).to_jsonl());
+        let buf = SharedBuf::default();
+        serve(
+            Cursor::new(input),
+            buf.clone(),
+            Duration::from_secs(3600),
+            Some(Fault::Panic(0)),
+        );
+        assert!(matches!(messages(&buf)[1], FromWorker::Result { .. }));
+
+        // A different cell with the fault armed: unaffected.
+        let input = format!("{}\n", ToWorker::Lease(lease(1, 0)).to_jsonl());
+        let buf = SharedBuf::default();
+        serve(
+            Cursor::new(input),
+            buf.clone(),
+            Duration::from_secs(3600),
+            Some(Fault::Panic(0)),
+        );
+        assert!(matches!(messages(&buf)[1], FromWorker::Result { .. }));
+    }
+
+    #[test]
+    fn heartbeats_flow_while_a_cell_executes() {
+        // A hang fault keeps the "cell" running forever; drive serve on
+        // a helper thread, watch heartbeats accumulate, then let the
+        // thread leak (detached) — the test process exits regardless.
+        let input = format!("{}\n", ToWorker::Lease(lease(0, 0)).to_jsonl());
+        let buf = SharedBuf::default();
+        let probe = buf.clone();
+        std::thread::spawn(move || {
+            serve(
+                Cursor::new(input),
+                buf,
+                Duration::from_millis(10),
+                Some(Fault::Hang(0)),
+            );
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let beats = messages(&probe)
+                .iter()
+                .filter(|m| matches!(m, FromWorker::Heartbeat { id } if *id == 100))
+                .count();
+            if beats >= 3 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no heartbeats within 10s"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

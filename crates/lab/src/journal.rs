@@ -53,6 +53,11 @@ pub struct JournalScan {
     pub skipped: usize,
     /// The last `"type":"campaign"` header, if any.
     pub header: Option<JournalHeader>,
+    /// Distinct cells in first-appearance order, **last line wins** per
+    /// hash — a crash-retried fleet run may append the same cell twice,
+    /// and the re-run's line supersedes. This is the row list `synran
+    /// report` renders into a per-cell table.
+    pub rows: Vec<(Cell, CellResult)>,
 }
 
 /// Reads a journal file line by line, classifying every line. A missing
@@ -68,6 +73,7 @@ pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(scan),
         Err(e) => return Err(e),
     };
+    let mut row_of: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     for line in BufReader::new(file).lines() {
         let line = line?;
         scan.lines += 1;
@@ -75,7 +81,14 @@ pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
         if trimmed.is_empty() {
             continue;
         }
-        if let Some((hash, _, result)) = from_jsonl(trimmed) {
+        if let Some((hash, cell, result)) = from_jsonl(trimmed) {
+            match row_of.get(&hash) {
+                Some(&p) => scan.rows[p] = (cell, result.clone()),
+                None => {
+                    row_of.insert(hash.clone(), scan.rows.len());
+                    scan.rows.push((cell, result.clone()));
+                }
+            }
             scan.cache.insert(hash, result);
             scan.entries += 1;
             continue;
@@ -290,6 +303,30 @@ mod tests {
         let empty = scan_journal(Path::new("/nonexistent/never/x.jsonl")).unwrap();
         assert_eq!(empty.lines, 0);
         assert!(empty.header.is_none());
+    }
+
+    #[test]
+    fn duplicate_cell_lines_keep_one_row_last_wins() {
+        // A crash-retried fleet run can append the same cell twice: once
+        // before the kill, once after resume. The scan must surface one
+        // row per distinct cell, carrying the *last* line's result.
+        let path = tmpdir("dup").join("demo.journal.jsonl");
+        let mut text = String::new();
+        text.push_str(&to_jsonl(&cell(1), &result(4)));
+        text.push('\n');
+        text.push_str(&to_jsonl(&cell(2), &result(9)));
+        text.push('\n');
+        text.push_str(&to_jsonl(&cell(1), &result(7))); // retry supersedes
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.entries, 3, "every parsed line still counts");
+        assert_eq!(scan.rows.len(), 2, "one row per distinct cell");
+        assert_eq!(scan.rows[0].0.seed, 1, "first-appearance order kept");
+        assert_eq!(scan.rows[0].1, result(7), "last line wins");
+        assert_eq!(scan.rows[1].1, result(9));
+        assert_eq!(scan.cache[&cell(1).content_hash()], result(7));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use synran_sim::{SimConfig, SimRng};
 
 use crate::artifact::{results_telemetry_path, write_telemetry_jsonl};
 use crate::cell::{Cell, CellResult};
-use crate::engine::Engine;
+use crate::engine::CellRunner;
 use crate::presets::{banner, section};
 use crate::spec::CampaignSpec;
 use crate::LabError;
@@ -128,7 +128,7 @@ fn stats(cell: &Cell, result: &CellResult) -> (f64, f64, f64) {
     (s.mean(), s.ci95_halfwidth(), k.mean())
 }
 
-/// Runs E3 on `engine` and renders the binary's exact output into `out`.
+/// Runs E3 on `runner` and renders the binary's exact output into `out`.
 ///
 /// # Errors
 ///
@@ -138,7 +138,11 @@ fn stats(cell: &Cell, result: &CellResult) -> (f64, f64, f64) {
     clippy::cast_possible_truncation,
     clippy::cast_sign_loss
 )]
-pub fn run(params: &E3Params, engine: &mut Engine, out: &mut dyn Write) -> Result<(), LabError> {
+pub fn run(
+    params: &E3Params,
+    runner: &mut dyn CellRunner,
+    out: &mut dyn Write,
+) -> Result<(), LabError> {
     let E3Params {
         sizes,
         runs,
@@ -146,7 +150,7 @@ pub fn run(params: &E3Params, engine: &mut Engine, out: &mut dyn Write) -> Resul
         seed,
     } = params.clone();
     let cells = params.cells();
-    let results = engine.run_cells(&cells)?;
+    let results = runner.run_cells(&cells)?;
     let mut slots = cells.iter().zip(&results);
 
     banner(
@@ -263,7 +267,7 @@ pub fn run(params: &E3Params, engine: &mut Engine, out: &mut dyn Write) -> Resul
             .seed(rep_seed)
             .max_rounds(100_000),
         &mut rep_adv,
-        engine.telemetry(),
+        runner.telemetry(),
     )?;
     let path = results_telemetry_path("e3_lower_bound");
     write_telemetry_jsonl(
@@ -277,7 +281,7 @@ pub fn run(params: &E3Params, engine: &mut Engine, out: &mut dyn Write) -> Resul
             ("seed", seed.to_string()),
             ("runs", runs.to_string()),
         ],
-        engine.telemetry(),
+        runner.telemetry(),
         rep_verdict.report().metrics().kills_per_round(),
         rep_n,
     )?;

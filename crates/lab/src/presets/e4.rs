@@ -8,10 +8,14 @@
 
 use std::io::Write;
 
+use synran_adversary::Balancer;
 use synran_analysis::{fmt_f64, tight_bound_rounds, ShapeFit, Table};
+use synran_core::{check_consensus_with, SynRan};
+use synran_sim::{SimConfig, SimRng};
 
+use crate::artifact::{results_telemetry_path, write_telemetry_jsonl};
 use crate::cell::{Cell, CellResult};
-use crate::engine::Engine;
+use crate::engine::CellRunner;
 use crate::presets::{banner, section};
 use crate::spec::CampaignSpec;
 use crate::LabError;
@@ -76,15 +80,19 @@ impl E4Params {
     }
 }
 
-/// Runs E4 on `engine` and renders the binary's exact output into `out`.
+/// Runs E4 on `runner` and renders the binary's exact output into `out`.
 ///
 /// # Errors
 ///
 /// Propagates execution and I/O errors.
-pub fn run(params: &E4Params, engine: &mut Engine, out: &mut dyn Write) -> Result<(), LabError> {
+pub fn run(
+    params: &E4Params,
+    runner: &mut dyn CellRunner,
+    out: &mut dyn Write,
+) -> Result<(), LabError> {
     let runs = params.runs;
     let cells = params.cells();
-    let results = engine.run_cells(&cells)?;
+    let results = runner.run_cells(&cells)?;
     let mut slots = cells.iter().zip(&results);
 
     banner(
@@ -144,6 +152,44 @@ pub fn run(params: &E4Params, engine: &mut Engine, out: &mut dyn Write) -> Resul
         out,
         "expected: ratio column roughly flat in n for the worst adversary — the upper bound's shape."
     )?;
+
+    // Telemetry artifact: experiment-wide counters plus per-round
+    // kill accounting from one representative run — the balancer (the
+    // suite's historically worst adversary) at the largest size, the
+    // same shape E3 writes.
+    let rep_n = *params.sizes.last().expect("sizes nonempty");
+    let rep_t = rep_n - 1;
+    let rep_seed = SimRng::new(params.seed ^ rep_n as u64).derive(0).next_u64();
+    let rep_inputs: Vec<synran_sim::Bit> = (0..rep_n)
+        .map(|i| synran_sim::Bit::from(i < rep_n / 2))
+        .collect();
+    let mut rep_adv = Balancer::unbounded();
+    let rep_verdict = check_consensus_with(
+        &SynRan::new(),
+        &rep_inputs,
+        SimConfig::new(rep_n)
+            .faults(rep_t)
+            .seed(rep_seed)
+            .max_rounds(200_000),
+        &mut rep_adv,
+        runner.telemetry(),
+    )?;
+    let path = results_telemetry_path("e4_synran_upper");
+    write_telemetry_jsonl(
+        &path,
+        &[
+            ("experiment", "e4_synran_upper".to_string()),
+            ("adversary", "balancer".to_string()),
+            ("n", rep_n.to_string()),
+            ("t", rep_t.to_string()),
+            ("seed", params.seed.to_string()),
+            ("runs", runs.to_string()),
+        ],
+        runner.telemetry(),
+        rep_verdict.report().metrics().kills_per_round(),
+        rep_n,
+    )?;
+    writeln!(out, "\ntelemetry: {}", path.display())?;
     Ok(())
 }
 

@@ -16,7 +16,7 @@ use std::io::Write;
 use synran_analysis::{fmt_f64, Table};
 
 use crate::cell::Cell;
-use crate::engine::Engine;
+use crate::engine::CellRunner;
 use crate::registry::validate_cell;
 use crate::spec::CampaignSpec;
 use crate::LabError;
@@ -67,21 +67,23 @@ pub fn campaign_cells(spec: &CampaignSpec) -> Result<Vec<Cell>, LabError> {
 }
 
 /// Runs a campaign end-to-end: expands the spec, executes its cells on
-/// `engine`, and renders with the experiment's renderer into `out`.
+/// `runner` (the in-process engine or a process fleet — output is
+/// byte-identical either way), and renders with the experiment's
+/// renderer into `out`.
 ///
 /// # Errors
 ///
 /// Propagates spec, execution, and rendering errors.
 pub fn run_campaign(
     spec: &CampaignSpec,
-    engine: &mut Engine,
+    runner: &mut dyn CellRunner,
     out: &mut dyn Write,
 ) -> Result<(), LabError> {
     match spec.experiment() {
-        "grid" => run_grid(spec, engine, out),
-        "e3" => e3::run(&e3::E3Params::from_spec(spec)?, engine, out),
-        "e4" => e4::run(&e4::E4Params::from_spec(spec)?, engine, out),
-        "e7" => e7::run(&e7::E7Params::from_spec(spec)?, engine, out),
+        "grid" => run_grid(spec, runner, out),
+        "e3" => e3::run(&e3::E3Params::from_spec(spec)?, runner, out),
+        "e4" => e4::run(&e4::E4Params::from_spec(spec)?, runner, out),
+        "e7" => e7::run(&e7::E7Params::from_spec(spec)?, runner, out),
         other => Err(LabError::Spec(format!(
             "unknown experiment {other:?} (expected grid, e3, e4, or e7)"
         ))),
@@ -89,12 +91,16 @@ pub fn run_campaign(
 }
 
 /// The generic renderer: one table row per cell, in cell order.
-fn run_grid(spec: &CampaignSpec, engine: &mut Engine, out: &mut dyn Write) -> Result<(), LabError> {
+fn run_grid(
+    spec: &CampaignSpec,
+    runner: &mut dyn CellRunner,
+    out: &mut dyn Write,
+) -> Result<(), LabError> {
     let cells = spec.expand_grid()?;
     for cell in &cells {
         validate_cell(cell)?;
     }
-    let results = engine.run_cells(&cells)?;
+    let results = runner.run_cells(&cells)?;
     writeln!(
         out,
         "=== campaign {} (grid, {} cells) ===",
@@ -140,6 +146,7 @@ fn run_grid(spec: &CampaignSpec, engine: &mut Engine, out: &mut dyn Write) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Engine;
     use synran_sim::Telemetry;
 
     #[test]

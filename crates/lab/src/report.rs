@@ -333,6 +333,19 @@ impl Report {
             };
             t.row(["cells_per_sec", &fmt_f64(per_sec, 1)]);
         }
+        for key in [
+            "fleet.leases.issued",
+            "fleet.leases.reissued",
+            "fleet.worker.restarts",
+            "fleet.heartbeat.gaps",
+            "fleet.stale_results",
+            "fleet.cells.failed",
+        ] {
+            if let Some(v) = self.counter_sum(key) {
+                campaign_rows = true;
+                t.row([key, &v.to_string()]);
+            }
+        }
         for (name, scan) in &self.journals {
             campaign_rows = true;
             t.row(["journal", name.as_str()]);
@@ -346,6 +359,47 @@ impl Report {
             out.push_str(&t.to_string());
         } else {
             out.push_str("(no campaign counters or journals)\n");
+        }
+
+        for (name, scan) in &self.journals {
+            if scan.rows.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n## Cells — {name}\n\n"));
+            let mut t = Table::new([
+                "protocol",
+                "adversary",
+                "n",
+                "t",
+                "runs",
+                "seed",
+                "mean_rounds",
+                "max_rounds",
+                "mean_kills",
+                "ok",
+            ]);
+            for (cell, result) in &scan.rows {
+                let ok = result.timeouts == 0 && result.violations == 0;
+                t.row([
+                    cell.protocol.clone(),
+                    cell.adversary.clone(),
+                    cell.n.to_string(),
+                    cell.t.to_string(),
+                    cell.runs.to_string(),
+                    cell.seed.to_string(),
+                    fmt_f64(result.mean_rounds(), 2),
+                    result
+                        .max_rounds()
+                        .map_or_else(|| "-".to_string(), |r| r.to_string()),
+                    fmt_f64(result.mean_kills(), 2),
+                    if ok {
+                        "yes".to_string()
+                    } else {
+                        format!("{}to/{}viol", result.timeouts, result.violations)
+                    },
+                ]);
+            }
+            out.push_str(&t.to_string());
         }
 
         out.push_str("\n## Pool\n\n");
@@ -440,9 +494,29 @@ impl Report {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"path\":\"{name}\",\"cells\":{},\"dropped\":{}}}",
+                "{{\"path\":\"{name}\",\"cells\":{},\"dropped\":{},\"rows\":[",
                 scan.entries, scan.skipped
             ));
+            for (j, (cell, result)) in scan.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"protocol\":\"{}\",\"adversary\":\"{}\",\"n\":{},\"t\":{},\"runs\":{},\"seed\":{},\"mean_rounds\":{},\"max_rounds\":{},\"mean_kills\":{},\"timeouts\":{},\"violations\":{}}}",
+                    cell.protocol,
+                    cell.adversary,
+                    cell.n,
+                    cell.t,
+                    cell.runs,
+                    cell.seed,
+                    fmt_f64(result.mean_rounds(), 2),
+                    result.max_rounds().unwrap_or(0),
+                    fmt_f64(result.mean_kills(), 2),
+                    result.timeouts,
+                    result.violations
+                ));
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out.push('\n');
@@ -539,6 +613,51 @@ mod tests {
 
         let empty = Report::new();
         assert!(empty.check().is_err(), "no inputs is a failure");
+    }
+
+    #[test]
+    fn journal_rows_render_as_a_cells_table_and_json_rows() {
+        use crate::cell::{to_jsonl, Cell, CellResult};
+        let dir = std::env::temp_dir().join(format!("synran-report-cells-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.journal.jsonl");
+        let cell = Cell {
+            runs: 2,
+            seed: 9,
+            ..Cell::new("synran", "balancer", 8)
+        };
+        let result = CellResult {
+            rounds: vec![3, 5],
+            kills: vec![1, 2],
+            timeouts: 0,
+            violations: 0,
+        };
+        std::fs::write(&path, format!("{}\n", to_jsonl(&cell, &result))).unwrap();
+
+        let mut report = Report::new();
+        report.add_telemetry(
+            "fleet.telemetry.jsonl",
+            TelemetryStream::parse(
+                "{\"type\":\"counter\",\"name\":\"fleet.worker.restarts\",\"value\":2}\n\
+                 {\"type\":\"counter\",\"name\":\"fleet.stale_results\",\"value\":1}\n",
+            ),
+        );
+        report.load(&path).unwrap();
+
+        let table = report.render(ReportFormat::Table);
+        assert!(table.contains("## Cells —"), "{table}");
+        assert!(table.contains("balancer"));
+        assert!(table.contains("4.00"), "mean rounds: {table}");
+        assert!(table.contains("fleet.worker.restarts"));
+        assert!(table.contains("fleet.stale_results"));
+
+        let json = report.render(ReportFormat::Json);
+        assert!(
+            json.contains("\"rows\":[{\"protocol\":\"synran\""),
+            "{json}"
+        );
+        assert!(json.contains("\"mean_kills\":1.50"), "{json}");
+        assert_eq!(table, report.render(ReportFormat::Table));
     }
 
     #[test]

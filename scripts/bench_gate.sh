@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Perf-regression gate over the committed BENCH_*.json baselines.
 #
-#   ./scripts/bench_gate.sh            re-run bench_parallel and compare it
-#                                      against the committed baseline
 #   ./scripts/bench_gate.sh --smoke    no fresh benchmark: self-compare the
 #                                      committed baselines (must pass), then
 #                                      compare against a synthetically
 #                                      regressed copy (must fail) — proves
 #                                      the gate has teeth without timing
 #                                      flakiness (this is what tier1 runs)
+#
+# The fresh-run full mode moved to scripts/nightly.sh, which re-runs
+# bench_parallel and bench_lab and gates them against their baselines.
 #
 # Tolerance comes from BENCH_GATE_MAX_REGRESS (percent, default 25): a
 # time-like metric (any *_ms / *_ns) more than that far above its baseline
@@ -44,13 +45,5 @@ if [ "${1:-}" = "--smoke" ]; then
     exit 0
 fi
 
-# Full mode: produce a fresh bench_parallel JSON at the baseline's row
-# geometry (smoke shrinks n, which would register as missing metrics) and
-# gate it. Expect this to take a few minutes.
-if [ ! -x ./target/release/bench_parallel ]; then
-    cargo build --release -q -p synran-bench --bin bench_parallel
-fi
-(cd "$scratch" && "$OLDPWD/target/release/bench_parallel" --out fresh.json >/dev/null)
-"$gate" compare BENCH_parallel.json "$scratch/fresh.json" --max-regress "$max_regress" \
-    || { echo "bench gate FAILED against BENCH_parallel.json"; exit 1; }
-echo "bench gate OK (max regress ${max_regress}%)"
+echo "bench_gate.sh now only runs --smoke; the fresh-run mode moved to ./scripts/nightly.sh" >&2
+exit 2

@@ -21,8 +21,9 @@ use synran::core::{
     LeaderConsensus, SynRan,
 };
 use synran::lab::{
-    load_cache, presets, scan_journal, CampaignSpec, CellCache, Engine, Journal, Report,
-    ReportFormat, StderrProgress,
+    fleet_sidecar_path, load_cache, presets, scan_fleet_sidecar, scan_journal, CampaignSpec,
+    CellCache, CellRunner, Engine, Fleet, FleetConfig, Journal, Report, ReportFormat,
+    StderrProgress,
 };
 use synran::sim::{
     Adversary, Bit, JsonlSink, Passive, Process, SimConfig, SimRng, Telemetry, TelemetryEvent,
@@ -49,6 +50,11 @@ USAGE:
 CAMPAIGN OPTIONS:
   --threads <int>      worker threads (0 = all cores; results identical
                        for every value)                      (default 0)
+  --procs <int>        worker *processes* (campaign run only). The
+                       supervisor leases cells to N subprocesses with
+                       heartbeats and crash-tolerant retry; journal and
+                       stdout are byte-identical for every value
+                       (default 1 = in-process engine)
   --results-dir <dir>  journal directory                     (default results)
   --fresh              truncate the journal first (campaign run only)
   --import <path>      merge another campaign's journal as a read-only
@@ -431,6 +437,12 @@ fn campaign_cmd(
         Some(sub @ ("run" | "resume")) => campaign_run(spec_path, values, flags, sub == "run"),
         Some("status") => campaign_status(spec_path, values),
         Some("list") => campaign_list(values),
+        // Hidden: the fleet worker half of `campaign run --procs N`.
+        // Supervisors spawn it; humans never type it.
+        Some("worker") => {
+            synran::lab::fleet::worker_main();
+            Ok(())
+        }
         Some(other) => Err(format!(
             "unknown campaign command {other:?} (run, resume, status, list)"
         )),
@@ -470,6 +482,10 @@ fn campaign_run(
         v.parse()
             .map_err(|_| format!("--threads: not an integer: {v}"))
     })?;
+    let procs: usize = values.get("procs").map_or(Ok(1), |v| {
+        v.parse()
+            .map_err(|_| format!("--procs: not an integer: {v}"))
+    })?;
     let telemetry = Telemetry::new(spec.telemetry_mode().map_err(|e| e.to_string())?);
     let warm = cache.len();
     let mut engine = Engine::new(threads, telemetry).with_journal(journal, cache);
@@ -498,13 +514,23 @@ fn campaign_run(
             spec.name()
         );
     }
-    presets::run_campaign(&spec, &mut engine, &mut std::io::stdout().lock())
+    // `--procs 1` (the default) is the in-process engine verbatim; more
+    // than one wraps it in the fleet supervisor. Either way the journal
+    // and stdout are byte-identical — the fleet's parity contract.
+    let mut fleet_holder;
+    let runner: &mut dyn CellRunner = if procs > 1 {
+        fleet_holder = Fleet::new(engine, FleetConfig::from_env(procs));
+        &mut fleet_holder
+    } else {
+        &mut engine
+    };
+    presets::run_campaign(&spec, runner, &mut std::io::stdout().lock())
         .map_err(|e| e.to_string())?;
     eprintln!(
         "campaign {}: {} cells executed, {} cache hits → {}",
         spec.name(),
-        engine.executed(),
-        engine.cache_hits(),
+        runner.executed(),
+        runner.cache_hits(),
         journal_path.display()
     );
     Ok(())
@@ -556,6 +582,16 @@ fn campaign_status(
         scan.entries
     );
     println!("last write : {}", last_write_age(&journal_path));
+    // A fleet sidecar is only left behind by an in-flight or failed
+    // `--procs N` run (clean completions remove it) — surface it.
+    if let Some(fleet) =
+        scan_fleet_sidecar(&fleet_sidecar_path(&journal_path)).map_err(|e| e.to_string())?
+    {
+        println!(
+            "fleet      : {} leases outstanding, {} procs, {} worker restarts, {} cells failed",
+            fleet.outstanding, fleet.procs, fleet.restarts, fleet.failed
+        );
+    }
     Ok(())
 }
 

@@ -1,0 +1,219 @@
+//! End-to-end contract of `synran campaign run --procs N`: the fleet
+//! supervisor must be observationally identical to the in-process engine
+//! — byte-identical journal and stdout for every process count, under an
+//! injected worker panic, under a hung worker killed by the per-cell
+//! timeout, and across a truncation-simulated crash resume. A cell that
+//! fails permanently must leave a structured failure, a kept sidecar,
+//! and a `campaign status` fleet line — without sinking the campaign.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("synran-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SPEC: &str = "\
+campaign  = fparity
+adversary = balancer
+runs      = 3
+seed      = 5
+sweep n   = 8,10,12
+sweep t   = half,max
+";
+
+fn write_spec(dir: &Path) -> PathBuf {
+    let path = dir.join("fparity.campaign");
+    std::fs::write(&path, SPEC).unwrap();
+    path
+}
+
+/// Runs `synran campaign <sub> <spec> --results-dir <results> [extra]`
+/// with the given environment.
+fn campaign(
+    sub: &str,
+    spec: &Path,
+    results: &Path,
+    extra: &[&str],
+    env: &[(&str, &str)],
+) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_synran"));
+    cmd.arg("campaign")
+        .arg(sub)
+        .arg(spec)
+        .arg("--results-dir")
+        .arg(results)
+        .args(extra);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn synran")
+}
+
+fn journal(results: &Path) -> Vec<u8> {
+    std::fs::read(results.join("fparity.journal.jsonl")).expect("journal written")
+}
+
+fn sidecar(results: &Path) -> PathBuf {
+    results.join("fparity.fleet.jsonl")
+}
+
+#[test]
+fn procs_1_2_4_are_byte_identical_to_the_engine() {
+    let dir = tmpdir("procs");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success(), "{serial:?}");
+    assert!(!serial.stdout.is_empty(), "campaign prints tables");
+
+    for procs in ["1", "2", "4"] {
+        let results = dir.join(format!("procs{procs}"));
+        let fleet = campaign("run", &spec, &results, &["--procs", procs], &[]);
+        assert!(fleet.status.success(), "--procs {procs}: {fleet:?}");
+        assert_eq!(
+            fleet.stdout, serial.stdout,
+            "--procs {procs} stdout diverged"
+        );
+        assert_eq!(
+            journal(&results),
+            journal(&serial_results),
+            "--procs {procs} journal diverged"
+        );
+        assert!(
+            !sidecar(&results).exists(),
+            "--procs {procs} left a sidecar after a clean run"
+        );
+    }
+}
+
+#[test]
+fn injected_panic_retries_to_identical_output() {
+    let dir = tmpdir("panic");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success());
+
+    let results = dir.join("fleet");
+    let fleet = campaign(
+        "run",
+        &spec,
+        &results,
+        &["--procs", "2"],
+        &[("SYNRAN_FLEET_FAULT", "panic:cell=1")],
+    );
+    assert!(fleet.status.success(), "{fleet:?}");
+    assert_eq!(fleet.stdout, serial.stdout, "stdout diverged under panic");
+    assert_eq!(journal(&results), journal(&serial_results));
+    assert!(!sidecar(&results).exists());
+}
+
+#[test]
+fn hung_worker_is_killed_by_the_cell_timeout_and_retried() {
+    let dir = tmpdir("hang");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success());
+
+    let results = dir.join("fleet");
+    let fleet = campaign(
+        "run",
+        &spec,
+        &results,
+        &["--procs", "2"],
+        &[
+            ("SYNRAN_FLEET_FAULT", "hang:cell=0"),
+            // The hang heartbeats, so only the cell timeout can end it.
+            ("SYNRAN_FLEET_TIMEOUT_MS", "300"),
+        ],
+    );
+    assert!(fleet.status.success(), "{fleet:?}");
+    assert_eq!(fleet.stdout, serial.stdout, "stdout diverged under hang");
+    assert_eq!(journal(&results), journal(&serial_results));
+}
+
+#[test]
+fn truncated_journal_resumes_under_the_fleet_to_identical_output() {
+    let dir = tmpdir("resume");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success());
+
+    // First fleet pass, then simulate a crash: keep the header and two
+    // cell lines, cutting the last kept line in half (a kill mid-append).
+    let results = dir.join("fleet");
+    let first = campaign("run", &spec, &results, &["--procs", "2"], &[]);
+    assert!(first.status.success());
+    let path = results.join("fparity.journal.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    let mut cut = keep.join("\n");
+    cut.truncate(cut.len() - 40);
+    std::fs::write(&path, cut).unwrap();
+
+    let resumed = campaign("resume", &spec, &results, &["--procs", "2"], &[]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(resumed.stdout, serial.stdout, "resumed stdout diverged");
+
+    // The resumed journal holds a second header and re-appends what the
+    // truncation destroyed; parsed through the real loader, its cache
+    // must equal the serial journal's exactly.
+    let resumed_scan = synran::lab::scan_journal(&path).unwrap();
+    let serial_scan =
+        synran::lab::scan_journal(&serial_results.join("fparity.journal.jsonl")).unwrap();
+    assert_eq!(resumed_scan.cache, serial_scan.cache);
+    assert_eq!(resumed_scan.rows.len(), serial_scan.rows.len());
+}
+
+#[test]
+fn permanent_failure_keeps_the_sidecar_and_status_reports_it() {
+    let dir = tmpdir("failure");
+    let spec = write_spec(&dir);
+    let results = dir.join("fleet");
+    // A hang with a tight timeout and a single allowed attempt: cell 0
+    // fails permanently; the rest of the campaign must still complete.
+    let fleet = campaign(
+        "run",
+        &spec,
+        &results,
+        &["--procs", "2"],
+        &[
+            ("SYNRAN_FLEET_FAULT", "hang:cell=0"),
+            ("SYNRAN_FLEET_TIMEOUT_MS", "300"),
+            ("SYNRAN_FLEET_MAX_ATTEMPTS", "1"),
+        ],
+    );
+    assert!(
+        !fleet.status.success(),
+        "a permanently failed cell must fail the run"
+    );
+    let stderr = String::from_utf8_lossy(&fleet.stderr);
+    assert!(
+        stderr.contains("failed permanently"),
+        "structured failure missing: {stderr}"
+    );
+    assert!(sidecar(&results).exists(), "sidecar kept on failure");
+
+    let status = campaign("status", &spec, &results, &[], &[]);
+    assert!(status.status.success(), "{status:?}");
+    let out = String::from_utf8_lossy(&status.stdout);
+    assert!(out.contains("fleet      :"), "no fleet line in:\n{out}");
+    assert!(
+        out.contains("1 cells failed"),
+        "failure tally missing:\n{out}"
+    );
+
+    // Every other cell still journalled: exactly one is missing.
+    let text = String::from_utf8(journal(&results)).unwrap();
+    let cells = text
+        .lines()
+        .filter(|l| l.contains("\"type\":\"cell\""))
+        .count();
+    assert_eq!(cells, 5, "5 of 6 cells journalled, the hung one failed");
+}
