@@ -184,6 +184,14 @@ impl Adversary<SynRanProcess> for LowerBoundAdversary {
             if better {
                 best = Some((score, kills, candidate));
             }
+            // Uncertainty is capped at 1.0, so once the incumbent scores
+            // ≥ 0.875 no later candidate can clear the +0.125 margin —
+            // skip the remaining forks and estimates outright. Sound
+            // because scoring is side-effect-free (`seeder.derive` is
+            // non-mutating), so skipped candidates leave no state behind.
+            if matches!(&best, Some((bs, _, _)) if *bs >= 1.0 - 0.125) {
+                break;
+            }
         }
         best.map(|(_, _, iv)| iv).unwrap_or_else(Intervention::none)
     }
@@ -315,6 +323,80 @@ mod tests {
         // The chain property: the returned input is a prefix-split.
         for w in inputs.windows(2) {
             assert!(w[0] >= w[1], "must be ones-then-zeros");
+        }
+    }
+
+    /// Scores every candidate with no short-circuit — the exhaustive loop
+    /// `intervene` ran before the ≥ 0.875 early break landed. The break is
+    /// exact (uncertainty is capped at 1.0, the margin is +0.125), so the
+    /// two must pick identical interventions.
+    fn intervene_exhaustive(
+        lb: &LowerBoundAdversary,
+        world: &World<SynRanProcess>,
+    ) -> Intervention {
+        let candidates = lb.candidates(world);
+        if candidates.len() == 1 {
+            return candidates.into_iter().next().expect("none candidate");
+        }
+        let mut best: Option<(f64, Intervention)> = None;
+        for (i, candidate) in candidates.into_iter().enumerate() {
+            let probe_seed = lb
+                .seeder
+                .derive(world.round().index().into())
+                .derive(i as u64);
+            let mut fork = world.fork_bounded(probe_seed.clone().next_u64(), lb.horizon);
+            if fork.deliver(candidate.clone()).is_err() {
+                continue;
+            }
+            let Ok(est) = estimate_valency(
+                &fork,
+                &lb.probes,
+                lb.samples,
+                lb.horizon,
+                probe_seed.clone().next_u64() ^ 0x5EED,
+            ) else {
+                continue;
+            };
+            let score = est.uncertainty();
+            let better = match &best {
+                None => true,
+                Some((bs, _)) => score > bs + 0.125,
+            };
+            if better {
+                best = Some((score, candidate));
+            }
+        }
+        best.map(|(_, iv)| iv).unwrap_or_else(Intervention::none)
+    }
+
+    #[test]
+    fn short_circuit_preserves_chosen_interventions() {
+        // Regression for the ≥ 0.875 early break: on E3-fixture-style
+        // worlds (even-split inputs, paper-scale kill caps, the E3 run
+        // seeds), the chosen intervention must match exhaustive scoring
+        // at several rounds of depth.
+        let n = 16;
+        let protocol = SynRan::new();
+        for seed in 0..4u64 {
+            let mut world = World::new(
+                SimConfig::new(n)
+                    .faults(n - 1)
+                    .seed(seed)
+                    .max_rounds(50_000),
+                |pid| protocol.spawn(pid, n, Bit::from(pid.index() < n / 2)),
+            )
+            .unwrap();
+            let mut lb = LowerBoundAdversary::with_params(6, 2, 40, seed);
+            for _ in 0..3 {
+                if world.finished() {
+                    break;
+                }
+                world.phase_a().unwrap();
+                let exhaustive = intervene_exhaustive(&lb, &world);
+                let chosen = lb.intervene(&world);
+                assert_eq!(chosen, exhaustive, "seed {seed}, round {:?}", world.round());
+                world.deliver(chosen).unwrap();
+            }
         }
     }
 

@@ -20,9 +20,11 @@
 //! see DESIGN.md's substitution table.
 
 use std::fmt;
+use std::sync::Arc;
 
 use synran_core::SynRanProcess;
-use synran_sim::{parallel, Adversary, Bit, Passive, Process, SimError, SimRng, World};
+use synran_sim::parallel::cohort::{self, CohortOutcome};
+use synran_sim::{parallel, Adversary, Bit, Passive, Process, SimError, Telemetry, World};
 
 use crate::{Balancer, PreferenceKiller, RandomKiller};
 
@@ -35,8 +37,13 @@ pub type BoxedAdversary<P> = Box<dyn Adversary<P> + Send>;
 /// A named factory producing fresh probe adversaries per fork seed.
 ///
 /// `Send + Sync` because the factories are shared by reference across the
-/// estimator's worker threads.
-type ProbeFactory<P> = (String, Box<dyn Fn(u64) -> BoxedAdversary<P> + Send + Sync>);
+/// estimator's worker threads. Names are interned `Arc<str>`: estimates
+/// carry a refcount bump per probe instead of cloning a `String` on the
+/// hottest path.
+type ProbeFactory<P> = (
+    Arc<str>,
+    Box<dyn Fn(u64) -> BoxedAdversary<P> + Send + Sync>,
+);
 
 /// A family of reference adversaries used as probes for `min`/`max`
 /// `Pr[decide 1]`.
@@ -55,7 +62,7 @@ impl<P: Process> fmt::Debug for ProbeSet<P> {
                 &self
                     .factories
                     .iter()
-                    .map(|(name, _)| name.as_str())
+                    .map(|(name, _)| &**name)
                     .collect::<Vec<_>>(),
             )
             .finish()
@@ -71,11 +78,12 @@ impl<P: Process> ProbeSet<P> {
         }
     }
 
-    /// Adds a named probe.
+    /// Adds a named probe. The name is interned once (`Arc<str>`); every
+    /// estimate built from this set shares it by refcount.
     #[must_use]
     pub fn with_probe(
         mut self,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         factory: impl Fn(u64) -> BoxedAdversary<P> + Send + Sync + 'static,
     ) -> ProbeSet<P> {
         self.factories.push((name.into(), Box::new(factory)));
@@ -135,7 +143,7 @@ impl ProbeSet<SynRanProcess> {
 pub struct ValencyEstimate {
     min_p1: f64,
     max_p1: f64,
-    per_probe: Vec<(String, f64)>,
+    per_probe: Vec<(Arc<str>, f64)>,
     samples_per_probe: usize,
     undecided: usize,
 }
@@ -155,9 +163,10 @@ impl ValencyEstimate {
         self.max_p1
     }
 
-    /// Per-probe `Pr[decide 1]`, in probe order.
+    /// Per-probe `Pr[decide 1]`, in probe order. Names are shared with
+    /// the [`ProbeSet`] the estimate was built from (interned `Arc<str>`).
     #[must_use]
-    pub fn per_probe(&self) -> &[(String, f64)] {
+    pub fn per_probe(&self) -> &[(Arc<str>, f64)] {
         &self.per_probe
     }
 
@@ -247,10 +256,14 @@ pub fn classify_with(estimate: &ValencyEstimate, lo: f64, hi: f64) -> Valence {
 ///
 /// The `(probe, sample)` grid is evaluated on
 /// [`world.config().threads_value()`](synran_sim::SimConfig::threads)
-/// worker threads through [`synran_sim::parallel::fork_eval`]. Fork seeds
-/// are derived from the `(probe, sample)` index, never from execution
-/// order, so the estimate is **bit-for-bit identical for every thread
-/// count** (including the serial `threads = 1` path).
+/// worker threads through the **lockstep cohort engine**
+/// ([`synran_sim::parallel::cohort`]): one shared snapshot, one pass per
+/// round across all forks, early retirement of decided/horizon-hit worlds,
+/// and one scratch arena per lane. Fork seeds are derived from the
+/// `(probe, sample)` index, never from execution order, so the estimate is
+/// **bit-for-bit identical for every thread count** (including the serial
+/// `threads = 1` path) *and* bit-identical to the per-fork reference path
+/// ([`estimate_valency_fork`]) — pinned by the cohort differential suite.
 ///
 /// # Errors
 ///
@@ -281,15 +294,59 @@ where
     let _span = telemetry.span("valency.estimate");
     // One work unit per (probe, sample) pair, in the serial nested-loop
     // order. Seeds depend only on the pair's indices.
-    let seeder = SimRng::new(seed);
-    let fork_seeds: Vec<u64> = (0..probes.len() * samples)
-        .map(|unit| {
-            seeder
-                .derive((unit / samples) as u64)
-                .derive((unit % samples) as u64)
-                .next_u64()
+    let fork_seeds = cohort::derive_seed_grid(seed, probes.len(), samples);
+    let outcomes = cohort::cohort_eval(
+        world,
+        world.config().threads_value(),
+        &fork_seeds,
+        horizon,
+        |unit, fork_seed| (probes.factories[unit / samples].1)(fork_seed),
+    )?;
+    let scored: Vec<(f64, bool)> = outcomes
+        .iter()
+        .map(|outcome| match outcome {
+            CohortOutcome::Finished(Some(Bit::One)) => (1.0, false),
+            CohortOutcome::Finished(Some(Bit::Zero)) => (0.0, false),
+            CohortOutcome::Finished(None) | CohortOutcome::HorizonHit => (0.5, true),
         })
         .collect();
+    Ok(reduce_outcomes(probes, samples, &scored, telemetry))
+}
+
+/// The per-fork reference estimator: drives every `(probe, sample)` fork
+/// to completion independently through
+/// [`synran_sim::parallel::fork_eval`], exactly as [`estimate_valency`]
+/// did before the cohort engine landed.
+///
+/// Kept callable as the **differential oracle**: the cohort path must
+/// produce byte-identical estimates to this one at every thread count
+/// (`crates/adversary/tests/cohort_equivalence.rs`, the tier-1 cohort
+/// smoke step, and `bench_valency` all pin it) — and it is the baseline
+/// the cohort's speedup is measured against.
+///
+/// # Errors
+///
+/// Same contract as [`estimate_valency`].
+///
+/// # Panics
+///
+/// Panics if `probes` is empty or `samples` is zero.
+pub fn estimate_valency_fork<P>(
+    world: &World<P>,
+    probes: &ProbeSet<P>,
+    samples: usize,
+    horizon: u32,
+    seed: u64,
+) -> Result<ValencyEstimate, SimError>
+where
+    P: Process + Clone + Send + Sync,
+    P::Msg: Send + Sync,
+{
+    assert!(!probes.is_empty(), "need at least one probe");
+    assert!(samples > 0, "need at least one sample per probe");
+    let telemetry = world.telemetry();
+    let _span = telemetry.span("valency.estimate");
+    let fork_seeds = cohort::derive_seed_grid(seed, probes.len(), samples);
     let outcomes = parallel::fork_eval(
         world,
         world.config().threads_value(),
@@ -318,9 +375,21 @@ where
             }
         },
     )?;
-    // Reduce in unit order: float addition is not associative, so the fold
-    // must not depend on completion order. Probe-outcome counters are also
-    // tallied here (not in the workers) so they accumulate deterministically.
+    Ok(reduce_outcomes(probes, samples, &outcomes, telemetry))
+}
+
+/// Folds per-unit `(score, undecided)` outcomes into a [`ValencyEstimate`],
+/// shared by the cohort and per-fork engines so the two paths cannot drift.
+///
+/// Reduces in unit order: float addition is not associative, so the fold
+/// must not depend on completion order. Probe-outcome counters are also
+/// tallied here (not in the workers) so they accumulate deterministically.
+fn reduce_outcomes<P: Process>(
+    probes: &ProbeSet<P>,
+    samples: usize,
+    outcomes: &[(f64, bool)],
+    telemetry: &Telemetry,
+) -> ValencyEstimate {
     let mut per_probe = Vec::with_capacity(probes.len());
     let mut undecided_total = 0usize;
     let (mut ones, mut zeros) = (0u64, 0u64);
@@ -337,7 +406,7 @@ where
                 }
             }
         }
-        per_probe.push((name.clone(), sum / samples as f64));
+        per_probe.push((Arc::clone(name), sum / samples as f64));
     }
     telemetry.incr("valency.estimates", 1);
     telemetry.incr("valency.probe.decided_one", ones);
@@ -351,13 +420,13 @@ where
         .iter()
         .map(|&(_, p)| p)
         .fold(f64::NEG_INFINITY, f64::max);
-    Ok(ValencyEstimate {
+    ValencyEstimate {
         min_p1,
         max_p1,
         per_probe,
         samples_per_probe: samples,
         undecided: undecided_total,
-    })
+    }
 }
 
 fn first_decision(report: &synran_sim::RunReport) -> Option<Bit> {
@@ -474,6 +543,35 @@ mod tests {
             let est = estimate_valency(&threaded, &probes, 5, 60, 9).unwrap();
             assert_eq!(est, a, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn estimate_shares_interned_probe_names() {
+        // Probe names are interned as `Arc<str>`: the estimate's per-probe
+        // rows must point at the same allocations as the `ProbeSet`, not
+        // fresh string copies (the old hot-path `String` clone).
+        let world = world_with_inputs(6, 2, 3, 11);
+        let probes = ProbeSet::synran(2);
+        let est = estimate_valency(&world, &probes, 2, 40, 3).unwrap();
+        assert_eq!(est.per_probe().len(), probes.len());
+        for ((est_name, _), (set_name, _)) in est.per_probe().iter().zip(&probes.factories) {
+            assert!(
+                Arc::ptr_eq(est_name, set_name),
+                "per_probe name {est_name:?} should share the ProbeSet allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn cohort_and_fork_estimators_agree() {
+        // In-crate differential check (the full suite lives in
+        // tests/cohort_equivalence.rs): cohort vs per-fork reference,
+        // byte-identical via PartialEq on every f64.
+        let world = world_with_inputs(10, 5, 5, 7);
+        let probes = ProbeSet::synran(2);
+        let cohort = estimate_valency(&world, &probes, 4, 50, 13).unwrap();
+        let fork = estimate_valency_fork(&world, &probes, 4, 50, 13).unwrap();
+        assert_eq!(cohort, fork);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The cohort differential oracle: the lockstep cohort engine behind
+//! [`estimate_valency`] must produce **byte-identical** estimates to the
+//! per-fork reference path ([`estimate_valency_fork`]) — for every thread
+//! count, for horizon-hit worlds, and under every telemetry mode. This is
+//! the load-bearing suite the tier-1 cohort smoke step mirrors.
+
+use synran_adversary::{estimate_valency, estimate_valency_fork, ProbeSet};
+use synran_core::{ConsensusProtocol, SynRan, SynRanProcess};
+use synran_sim::telemetry::{Telemetry, TelemetryMode};
+use synran_sim::{Bit, SimConfig, World};
+
+/// A SynRan world with `ones` leading 1-inputs, `t` fault budget, and a
+/// configurable worker-thread count — the same fixture family the in-crate
+/// valency tests use.
+fn world_with(
+    n: usize,
+    t: usize,
+    ones: usize,
+    seed: u64,
+    threads: usize,
+    max_rounds: u32,
+) -> World<SynRanProcess> {
+    World::new(
+        SimConfig::new(n)
+            .faults(t)
+            .seed(seed)
+            .max_rounds(max_rounds)
+            .threads(threads),
+        |pid| SynRan::new().spawn(pid, n, Bit::from(pid.index() < ones)),
+    )
+    .expect("valid config")
+}
+
+#[test]
+fn cohort_matches_fork_path_at_every_thread_count() {
+    let probes = ProbeSet::synran(3);
+    // Split, mostly-ones, and unanimous starting states: the cohort must
+    // agree with the per-fork oracle regardless of how quickly (or
+    // whether) the forks decide.
+    for (ones, seed) in [(8, 7u64), (14, 21), (16, 3)] {
+        let reference =
+            estimate_valency_fork(&world_with(16, 8, ones, seed, 1, 5_000), &probes, 5, 60, 9)
+                .unwrap();
+        for threads in [1usize, 2, 8] {
+            let world = world_with(16, 8, ones, seed, threads, 5_000);
+            let cohort = estimate_valency(&world, &probes, 5, 60, 9).unwrap();
+            assert_eq!(
+                cohort, reference,
+                "cohort(threads={threads}) vs per-fork, ones={ones} seed={seed}"
+            );
+            let fork = estimate_valency_fork(&world, &probes, 5, 60, 9).unwrap();
+            assert_eq!(
+                fork, reference,
+                "fork path itself drifted at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn horizon_hit_worlds_are_identical_and_undecided() {
+    // A 2-round look-ahead is far too short for SynRan to decide from a
+    // split state: every fork hits the horizon. Cohort retirement of
+    // horizon-hit worlds must score them exactly like the per-fork path's
+    // `MaxRoundsExceeded` arm (½ each, all undecided).
+    let probes = ProbeSet::synran(2);
+    for threads in [1usize, 2, 8] {
+        let world = world_with(12, 6, 6, 5, threads, 5_000);
+        let cohort = estimate_valency(&world, &probes, 4, 2, 17).unwrap();
+        let fork = estimate_valency_fork(&world, &probes, 4, 2, 17).unwrap();
+        assert_eq!(cohort, fork, "threads = {threads}");
+        assert!(
+            cohort.undecided() * 2 > probes.len() * 4,
+            "most forks should hit the 2-round horizon, got {} of {}",
+            cohort.undecided(),
+            probes.len() * 4
+        );
+    }
+}
+
+#[test]
+fn config_max_rounds_caps_the_cohort_like_the_fork_path() {
+    // The world's own `max_rounds` is tighter than the probe horizon:
+    // bounded forks clamp to it, so the per-fork path surfaces
+    // `MaxRoundsExceeded` and scores ½. The cohort must retire those
+    // worlds at the same limit with the same score.
+    let probes = ProbeSet::synran(2);
+    for threads in [1usize, 2, 8] {
+        let world = world_with(12, 6, 6, 5, threads, 3);
+        let cohort = estimate_valency(&world, &probes, 4, 60, 17).unwrap();
+        let fork = estimate_valency_fork(&world, &probes, 4, 60, 17).unwrap();
+        assert_eq!(cohort, fork, "threads = {threads}");
+        assert!(cohort.undecided() > 0, "the 3-round cap must bite");
+    }
+}
+
+#[test]
+fn early_retirement_is_observe_only_and_counted() {
+    // Unanimous inputs decide almost immediately — long before the
+    // 60-round horizon — so the cohort retires every world early. The
+    // counters must record that, and must not perturb the estimate:
+    // off / counters / spans all agree with the per-fork oracle.
+    let probes = ProbeSet::synran(2);
+    let reference =
+        estimate_valency_fork(&world_with(12, 4, 12, 11, 2, 5_000), &probes, 4, 60, 23).unwrap();
+    for mode in [
+        TelemetryMode::Off,
+        TelemetryMode::Counters,
+        TelemetryMode::Spans,
+    ] {
+        let hub = Telemetry::new(mode);
+        let mut world = world_with(12, 4, 12, 11, 2, 5_000);
+        world.set_telemetry(hub.clone());
+        let est = estimate_valency(&world, &probes, 4, 60, 23).unwrap();
+        assert_eq!(est, reference, "telemetry mode {mode} changed the estimate");
+        let snap = hub.snapshot();
+        let expected_worlds = (probes.len() * 4) as u64;
+        match mode {
+            TelemetryMode::Off => {
+                assert_eq!(snap.counter("valency.cohort.worlds"), None);
+            }
+            TelemetryMode::Counters | TelemetryMode::Spans => {
+                assert_eq!(snap.counter("valency.cohort.worlds"), Some(expected_worlds));
+                assert_eq!(
+                    snap.counter("valency.cohort.retired_early"),
+                    Some(expected_worlds),
+                    "unanimous worlds all decide before the horizon"
+                );
+                assert!(
+                    snap.counter("valency.cohort.rounds_saved").unwrap_or(0) > 0,
+                    "early retirement should bank unburned rounds"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "at least one probe")]
+fn cohort_rejects_empty_probe_set() {
+    let world = world_with(8, 4, 4, 1, 1, 5_000);
+    let probes: ProbeSet<SynRanProcess> = ProbeSet::new();
+    let _ = estimate_valency(&world, &probes, 4, 30, 1);
+}
+
+#[test]
+#[should_panic(expected = "at least one sample")]
+fn cohort_rejects_zero_samples() {
+    let world = world_with(8, 4, 4, 1, 1, 5_000);
+    let probes = ProbeSet::synran(2);
+    let _ = estimate_valency(&world, &probes, 0, 30, 1);
+}

@@ -14,15 +14,24 @@
 
 use synran_adversary::{Balancer, RandomKiller};
 use synran_analysis::{deterministic_rounds, fmt_f64, tight_bound_rounds, Table};
-use synran_bench::{banner, section, Args};
-use synran_core::{run_batch, ConsensusProtocol, FloodingConsensus, InputAssignment, SynRan};
-use synran_sim::{Passive, SimConfig};
+use synran_bench::{banner, results_telemetry_path, section, write_telemetry_jsonl, Args};
+use synran_core::{run_batch_with, ConsensusProtocol, FloodingConsensus, InputAssignment, SynRan};
+use synran_sim::{Passive, SimConfig, Telemetry, TelemetryMode, World};
 
 fn main() {
     let args = Args::from_env();
     let runs = args.get_usize("runs", 30);
     let seed = args.get_u64("seed", 5);
     let n = args.get_usize("n", 64);
+    // `--telemetry counters` (or `spans`) attaches one hub to every batch
+    // below — observe-only, so the tables are unchanged — and writes the
+    // aggregate to results/e5_protocol_comparison.telemetry.jsonl.
+    let mode: TelemetryMode = args
+        .get("telemetry")
+        .unwrap_or("off")
+        .parse()
+        .expect("--telemetry");
+    let hub = Telemetry::new(mode);
 
     banner(
         "E5 protocol comparison",
@@ -43,30 +52,33 @@ fn main() {
     ]);
     for &t in &t_values {
         let cfg = SimConfig::new(n).faults(t).max_rounds(200_000);
-        let flooding = run_batch(
+        let flooding = run_batch_with(
             &FloodingConsensus::for_faults(t),
             InputAssignment::even_split(n),
             &cfg,
             runs,
             seed,
+            &hub,
             |_| Passive,
         )
         .expect("engine error");
-        let synran = run_batch(
+        let synran = run_batch_with(
             &SynRan::new(),
             InputAssignment::even_split(n),
             &cfg,
             runs,
             seed,
+            &hub,
             |_| Passive,
         )
         .expect("engine error");
-        let sym = run_batch(
+        let sym = run_batch_with(
             &SynRan::symmetric(),
             InputAssignment::even_split(n),
             &cfg,
             runs,
             seed,
+            &hub,
             |_| Passive,
         )
         .expect("engine error");
@@ -95,30 +107,33 @@ fn main() {
     let mut attack_table = Table::new(["adversary", "flooding", "synran", "synran-sym"]);
     // Random killer.
     let rate = sqrt_n;
-    let flooding_r = run_batch(
+    let flooding_r = run_batch_with(
         &FloodingConsensus::for_faults(t),
         InputAssignment::even_split(n),
         &cfg,
         runs,
         seed ^ 2,
+        &hub,
         |s| RandomKiller::new(rate, s),
     )
     .expect("engine error");
-    let synran_r = run_batch(
+    let synran_r = run_batch_with(
         &SynRan::new(),
         InputAssignment::even_split(n),
         &cfg,
         runs,
         seed ^ 2,
+        &hub,
         |s| RandomKiller::new(rate, s),
     )
     .expect("engine error");
-    let sym_r = run_batch(
+    let sym_r = run_batch_with(
         &SynRan::symmetric(),
         InputAssignment::even_split(n),
         &cfg,
         runs,
         seed ^ 2,
+        &hub,
         |s| RandomKiller::new(rate, s),
     )
     .expect("engine error");
@@ -130,21 +145,23 @@ fn main() {
     ]);
     // Balancer (SynRan-family only; flooding is oblivious to it, so rerun
     // random there for a fair row).
-    let synran_b = run_batch(
+    let synran_b = run_batch_with(
         &SynRan::new(),
         InputAssignment::even_split(n),
         &cfg,
         runs,
         seed ^ 3,
+        &hub,
         |_| Balancer::unbounded(),
     )
     .expect("engine error");
-    let sym_b = run_batch(
+    let sym_b = run_batch_with(
         &SynRan::symmetric(),
         InputAssignment::even_split(n),
         &cfg,
         runs,
         seed ^ 3,
+        &hub,
         |_| Balancer::unbounded(),
     )
     .expect("engine error");
@@ -167,16 +184,23 @@ fn main() {
     // propose 1, whatever the counts. (This is why plain Ben-Or needs
     // t < n/2 while SynRan tolerates any t < n.)
     let unanimous = InputAssignment::Unanimous(synran_sim::Bit::One);
-    let syn_u = run_batch(&SynRan::new(), unanimous, &cfg, runs, seed ^ 4, |_| {
-        Balancer::unbounded()
-    })
+    let syn_u = run_batch_with(
+        &SynRan::new(),
+        unanimous,
+        &cfg,
+        runs,
+        seed ^ 4,
+        &hub,
+        |_| Balancer::unbounded(),
+    )
     .expect("engine error");
-    let sym_u = run_batch(
+    let sym_u = run_batch_with(
         &SynRan::symmetric(),
         unanimous,
         &cfg,
         runs,
         seed ^ 4,
+        &hub,
         |_| Balancer::unbounded(),
     )
     .expect("engine error");
@@ -213,4 +237,37 @@ fn main() {
         SynRan::new().name(),
         SynRan::symmetric().name()
     );
+
+    if mode != TelemetryMode::Off {
+        // One representative adaptive run (the attack configuration) for
+        // the per-round kill accounting, then the hub's aggregate of every
+        // batch above.
+        let protocol = SynRan::new();
+        let mut world = World::new(
+            SimConfig::new(n)
+                .faults(n - 1)
+                .seed(seed ^ 3)
+                .max_rounds(200_000),
+            |pid| protocol.spawn(pid, n, synran_sim::Bit::from(pid.index() < n / 2)),
+        )
+        .expect("valid config");
+        world.set_telemetry(hub.clone());
+        let report = world.run(&mut Balancer::unbounded()).expect("engine error");
+        let path = results_telemetry_path("e5_protocol_comparison");
+        write_telemetry_jsonl(
+            &path,
+            &[
+                ("experiment", "e5_protocol_comparison".to_string()),
+                ("adversary", "balancer".to_string()),
+                ("n", n.to_string()),
+                ("t", (n - 1).to_string()),
+                ("seed", seed.to_string()),
+            ],
+            &hub,
+            report.metrics().kills_per_round(),
+            n,
+        )
+        .expect("write telemetry jsonl");
+        println!("\nwrote {}", path.display());
+    }
 }

@@ -1,0 +1,468 @@
+//! Lockstep cohort rollout: round-major fork evaluation for the
+//! Monte-Carlo valency hot path.
+//!
+//! [`fork_eval`](super::fork_eval) drives each fork of a snapshot to
+//! completion independently: fork, run to decision or horizon, retire,
+//! next fork. The cohort engine drives **all forks of one snapshot in
+//! lockstep, round-major**: one shared [`WorldSnapshot`], one pass per
+//! round across the whole cohort, a word-packed [`BitPlane`] active set
+//! retiring decided and horizon-hit worlds as soon as their outcome is
+//! known, and one recycled scratch arena per lane instead of per-fork
+//! scratch-pool checkout/return traffic.
+//!
+//! # Determinism
+//!
+//! The engine inherits the [module contract](super): outcomes are
+//! **bit-for-bit identical to driving each fork independently, at every
+//! thread count**. The argument:
+//!
+//! * every coin a fork flips derives from `(fork seed, pid, round, phase)`
+//!   ([`SimRng::stream`](crate::SimRng::stream)) — never from execution
+//!   order — so interleaving the *rounds* of many forks cannot change any
+//!   fork's execution;
+//! * forks are assigned to lanes by a pure function of `(index, lanes)`
+//!   and outcomes are written into the slot of their index, so lane count
+//!   changes wall-clock time, never results;
+//! * the shared lane scratch is clean between `deliver` calls by the
+//!   engine's scratch invariant, so serially re-using one arena across the
+//!   lane's worlds is observationally identical to giving each world its
+//!   own;
+//! * per-world early retirement fires exactly where the independent drive
+//!   loop would have stopped (all processes halted/failed, or the bounded
+//!   round limit exceeded) — never earlier (e.g. at first decision, which
+//!   would change the observable outcome of worlds whose remaining
+//!   processes never halt).
+//!
+//! The `valency.cohort.*` telemetry counters (worlds started, worlds
+//! retired early, rounds saved vs a full-horizon burn) are observe-only,
+//! like every other telemetry write.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::world::RoundScratch;
+use crate::{
+    Adversary, Bit, BitPlane, Process, ProcessId, SimError, SimRng, Telemetry, World, WorldSnapshot,
+};
+
+use super::{global_pool, resolve_threads};
+
+/// How one cohort member ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohortOutcome {
+    /// The fork ran to completion (every process halted or was failed).
+    /// Carries the decision of the first non-faulty process in id order —
+    /// exactly what
+    /// [`RunReport::non_faulty`](crate::RunReport::non_faulty)`().find_map(decision_of)`
+    /// reads off the equivalent independent run.
+    Finished(Option<Bit>),
+    /// The fork exceeded its bounded round limit undecided — the cohort
+    /// analogue of [`SimError::MaxRoundsExceeded`] from an independent
+    /// drive.
+    HorizonHit,
+}
+
+/// Derives the fork-seed grid for `groups × per_group` work units.
+///
+/// Byte-identical to deriving
+/// `SimRng::new(seed).derive(unit / per_group).derive(unit % per_group).next_u64()`
+/// per unit (the valency estimator's historical chain), but each group's
+/// substream is derived once and swept, instead of re-deriving the full
+/// chain for every unit.
+#[must_use]
+pub fn derive_seed_grid(seed: u64, groups: usize, per_group: usize) -> Vec<u64> {
+    let seeder = SimRng::new(seed);
+    let mut out = Vec::with_capacity(groups * per_group);
+    for g in 0..groups {
+        let group_stream = seeder.derive(g as u64);
+        for s in 0..per_group {
+            out.push(group_stream.derive(s as u64).next_u64());
+        }
+    }
+    out
+}
+
+/// Drives all forks of one paused world in lockstep, round-major.
+///
+/// Built by [`CohortDriver::new`] (which condenses the world into a
+/// bounded [`WorldSnapshot`] once) and consumed by
+/// [`CohortDriver::drive`]. The [`cohort_eval`] free function wraps both
+/// for the common single-shot case.
+#[derive(Debug)]
+pub struct CohortDriver<P: Process> {
+    snapshot: WorldSnapshot<P>,
+    telemetry: Telemetry,
+    threads: usize,
+}
+
+impl<P> CohortDriver<P>
+where
+    P: Process + Clone + Send + Sync,
+    P::Msg: Send + Sync,
+{
+    /// Captures `world` into a copy-on-write snapshot bounded at `horizon`
+    /// rounds past the pause point, ready to cut cohorts from.
+    ///
+    /// Telemetry attribution comes from the parent world's handle; the
+    /// cohort members themselves are detached, like any fork.
+    #[must_use]
+    pub fn new(world: &World<P>, threads: usize, horizon: u32) -> CohortDriver<P> {
+        CohortDriver {
+            snapshot: world.snapshot_bounded(horizon),
+            telemetry: world.telemetry().clone(),
+            threads,
+        }
+    }
+
+    /// Forks the snapshot once per seed, builds each fork's adversary with
+    /// `make_adversary(index, seed)`, and drives the whole cohort in
+    /// lockstep. Outcome `i` is what independently driving
+    /// `snapshot.fork(seeds[i])` under the same adversary would produce.
+    ///
+    /// Worlds are assigned to lanes **strided** (`index % lanes`), not in
+    /// contiguous chunks: a valency cohort is probe-major, and probes have
+    /// wildly different costs (a balancer fork runs near the full horizon
+    /// while a kill-ones fork decides in a few rounds), so striding
+    /// balances each probe's forks across all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors other than the round limit (which is the
+    /// [`CohortOutcome::HorizonHit`] outcome, not an error); with several
+    /// failing forks, the error of the lowest index is returned regardless
+    /// of thread count. All members are driven even when one fails,
+    /// matching [`try_par_map`](super::try_par_map).
+    pub fn drive<A, F>(
+        &self,
+        seeds: &[u64],
+        make_adversary: F,
+    ) -> Result<Vec<CohortOutcome>, SimError>
+    where
+        A: Adversary<P>,
+        F: Fn(usize, u64) -> A + Sync,
+    {
+        let total = seeds.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let telemetry = &self.telemetry;
+        let _span = telemetry.span("parallel.cohort");
+        let lanes = resolve_threads(self.threads).min(total);
+        let results: Vec<OnceLock<Result<CohortOutcome, SimError>>> =
+            (0..total).map(|_| OnceLock::new()).collect();
+        let retired_early = AtomicU64::new(0);
+        let rounds_saved = AtomicU64::new(0);
+        let run_lane = |w: usize| {
+            #[allow(clippy::cast_possible_truncation)]
+            let _worker = telemetry.worker_span("parallel.worker", w as u32);
+            let saved = drive_lane(
+                &self.snapshot,
+                seeds,
+                &make_adversary,
+                w,
+                lanes,
+                &results,
+                &retired_early,
+            );
+            rounds_saved.fetch_add(saved, Ordering::Relaxed);
+        };
+        if lanes <= 1 {
+            run_lane(0);
+        } else {
+            // Lanes go straight to the pool: `par_map`'s `MIN_CHUNK`
+            // collapse is tuned for per-fork work items, while a lane
+            // carries whole bounded rollouts. The pool's busy fallback
+            // (nested dispatch) still runs the lanes inline, identically.
+            global_pool().run(telemetry, lanes, &run_lane);
+        }
+        telemetry.incr("valency.cohort.worlds", total as u64);
+        let early = retired_early.into_inner();
+        if early > 0 {
+            telemetry.incr("valency.cohort.retired_early", early);
+        }
+        let saved = rounds_saved.into_inner();
+        if saved > 0 {
+            telemetry.incr("valency.cohort.rounds_saved", saved);
+        }
+        results
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner()
+                    .expect("every cohort member is driven to an outcome")
+            })
+            .collect()
+    }
+}
+
+/// One lockstep pass structure: everything lane `w` owns while driving its
+/// stride of the cohort.
+fn drive_lane<P, A, F>(
+    snapshot: &WorldSnapshot<P>,
+    seeds: &[u64],
+    make_adversary: &F,
+    w: usize,
+    lanes: usize,
+    results: &[OnceLock<Result<CohortOutcome, SimError>>],
+    retired_early: &AtomicU64,
+) -> u64
+where
+    P: Process + Clone + Send + Sync,
+    P::Msg: Send + Sync,
+    A: Adversary<P>,
+    F: Fn(usize, u64) -> A + Sync,
+{
+    // Fork this lane's stride. Forks carry a zero-width scratch
+    // placeholder; the lane's single caddy scratch is swapped in around
+    // each round step instead (phase A and the adversary never touch
+    // scratch, so only the delivery window needs it).
+    let mut members: Vec<Option<(usize, World<P>, A)>> = (w..seeds.len())
+        .step_by(lanes)
+        .map(|i| {
+            Some((
+                i,
+                snapshot.fork_detached(seeds[i]),
+                make_adversary(i, seeds[i]),
+            ))
+        })
+        .collect();
+    let mut caddy: RoundScratch<P::Msg> = snapshot.take_scratch();
+    let mut active = BitPlane::full(members.len());
+    let mut remaining = members.len();
+    let mut saved: u64 = 0;
+    while remaining > 0 {
+        for (li, member) in members.iter_mut().enumerate() {
+            if !active.get(li) {
+                continue;
+            }
+            let (_, world, adversary) = member.as_mut().expect("active members are present");
+            world.swap_scratch(&mut caddy);
+            let step = step_world(world, adversary);
+            world.swap_scratch(&mut caddy);
+            let Some(outcome) = step else { continue };
+            let (index, world, _) = member.take().expect("active members are present");
+            active.clear(li);
+            remaining -= 1;
+            if let Ok(CohortOutcome::Finished(_)) = outcome {
+                // Rounds a full-horizon burn would still have run: the
+                // world finished with `round ..= limit` left unplayed.
+                let limit = world.config().max_rounds_value();
+                let round = world.round().index();
+                if round <= limit {
+                    retired_early.fetch_add(1, Ordering::Relaxed);
+                    saved += u64::from(limit - round) + 1;
+                }
+            }
+            drop(world);
+            let _ = results[index].set(outcome);
+        }
+    }
+    snapshot.put_scratch(caddy);
+    saved
+}
+
+/// One iteration of the independent [`World::drive`] loop, inlined for a
+/// cohort member: finished/limit checks, Phase A if pending, the
+/// adversary's intervention, delivery — then the *next* iteration's
+/// finished/limit checks brought forward, so a world retires in the pass
+/// that settles its outcome instead of burning one more lockstep pass to
+/// notice.
+///
+/// Returns `None` while the world should keep stepping, or the settled
+/// outcome (`Finished`/`HorizonHit`/error) exactly where `drive` would
+/// have returned.
+fn step_world<P, A>(
+    world: &mut World<P>,
+    adversary: &mut A,
+) -> Option<Result<CohortOutcome, SimError>>
+where
+    P: Process,
+    A: Adversary<P>,
+{
+    let limit = world.config().max_rounds_value();
+    if world.finished() {
+        return Some(Ok(CohortOutcome::Finished(first_decision(world))));
+    }
+    if world.round().index() > limit {
+        return Some(Ok(CohortOutcome::HorizonHit));
+    }
+    if !world.awaiting_delivery() {
+        if let Err(e) = world.phase_a() {
+            return Some(Err(e));
+        }
+    }
+    let intervention = adversary.intervene(world);
+    if let Err(e) = world.deliver(intervention) {
+        return Some(Err(e));
+    }
+    // Early retirement: these are exactly the checks the next `drive`
+    // iteration would perform first, so folding them into this step
+    // changes when the outcome is *read*, never what it is.
+    if world.finished() {
+        return Some(Ok(CohortOutcome::Finished(first_decision(world))));
+    }
+    if world.round().index() > limit {
+        return Some(Ok(CohortOutcome::HorizonHit));
+    }
+    None
+}
+
+/// The decision of the first non-faulty process in id order, read straight
+/// off the finished world — equivalent to building the
+/// [`RunReport`](crate::RunReport) and walking
+/// `non_faulty().find_map(decision_of)`, without allocating the report's
+/// decision/status vectors per fork.
+fn first_decision<P: Process>(world: &World<P>) -> Option<Bit> {
+    (0..world.n())
+        .map(ProcessId::new)
+        .filter(|&pid| !world.status(pid).is_failed())
+        .find_map(|pid| world.process(pid).decision())
+}
+
+/// Single-shot convenience over [`CohortDriver`]: snapshot `world` bounded
+/// at `horizon`, fork once per seed, drive the cohort in lockstep, return
+/// the outcomes in seed order.
+///
+/// The lockstep equivalent of [`fork_eval`](super::fork_eval) +
+/// drive-to-completion per fork; see [`CohortDriver::drive`] for the
+/// determinism and error contract.
+///
+/// # Errors
+///
+/// Returns the error of the lowest failing index.
+pub fn cohort_eval<P, A, F>(
+    world: &World<P>,
+    threads: usize,
+    seeds: &[u64],
+    horizon: u32,
+    make_adversary: F,
+) -> Result<Vec<CohortOutcome>, SimError>
+where
+    P: Process + Clone + Send + Sync,
+    P::Msg: Send + Sync,
+    A: Adversary<P>,
+    F: Fn(usize, u64) -> A + Sync,
+{
+    CohortDriver::new(world, threads, horizon).drive(seeds, make_adversary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::fork_eval;
+    use crate::testing::{CountDown, Echo};
+    use crate::{Context, Inbox, Intervention, Passive, SendPattern, SimConfig};
+
+    /// A process that never halts — only the horizon stops its forks.
+    #[derive(Debug, Clone)]
+    struct Forever;
+    impl Process for Forever {
+        type Msg = Bit;
+        fn send(&mut self, _: &mut Context<'_>) -> SendPattern<Bit> {
+            SendPattern::Broadcast(Bit::One)
+        }
+        fn receive(&mut self, _: &mut Context<'_>, _: &Inbox<Bit>) {}
+        fn decision(&self) -> Option<Bit> {
+            None
+        }
+        fn halted(&self) -> bool {
+            false
+        }
+    }
+
+    /// Drives `seeds` through the independent per-fork path with the same
+    /// outcome classification the cohort produces.
+    fn fork_oracle<P>(
+        world: &World<P>,
+        threads: usize,
+        seeds: &[u64],
+        horizon: u32,
+    ) -> Vec<CohortOutcome>
+    where
+        P: Process + Clone + Send + Sync,
+        P::Msg: Send + Sync,
+    {
+        fork_eval(world, threads, seeds, horizon, |_, mut fork| {
+            let mut adversary = Passive;
+            match fork.drive(&mut adversary) {
+                Ok(()) => {
+                    let report = fork.into_report();
+                    let decision = report.non_faulty().find_map(|pid| report.decision_of(pid));
+                    Ok::<_, SimError>(CohortOutcome::Finished(decision))
+                }
+                Err(SimError::MaxRoundsExceeded { .. }) => {
+                    fork.retire();
+                    Ok(CohortOutcome::HorizonHit)
+                }
+                Err(other) => Err(other),
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn cohort_matches_per_fork_path_at_every_thread_count() {
+        let world = World::new(SimConfig::new(6).seed(11), |pid| {
+            Echo::new(Bit::from(pid.index() % 2 == 0))
+        })
+        .unwrap();
+        let seeds: Vec<u64> = (0..13).map(|i| 2000 + i).collect();
+        let oracle = fork_oracle(&world, 1, &seeds, 50);
+        for threads in [1usize, 2, 8] {
+            let outcomes = cohort_eval(&world, threads, &seeds, 50, |_, _| Passive).unwrap();
+            assert_eq!(outcomes, oracle, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn horizon_hit_worlds_report_like_max_rounds() {
+        let world = World::new(SimConfig::new(4).seed(3).max_rounds(1_000), |_| Forever).unwrap();
+        let seeds = [7u64, 8, 9, 10, 11];
+        for threads in [1usize, 2, 8] {
+            let outcomes = cohort_eval(&world, threads, &seeds, 5, |_, _| Passive).unwrap();
+            assert_eq!(outcomes, vec![CohortOutcome::HorizonHit; seeds.len()]);
+        }
+    }
+
+    #[test]
+    fn cohort_counters_are_observe_only() {
+        use crate::telemetry::{Telemetry, TelemetryMode};
+        let mut world =
+            World::new(SimConfig::new(5).seed(9), |_| CountDown::new(3, Bit::One)).unwrap();
+        world.phase_a().unwrap();
+        world.deliver(Intervention::none()).unwrap();
+        let seeds: Vec<u64> = (0..9).map(|i| 40 + i).collect();
+        let baseline = cohort_eval(&world, 2, &seeds, 30, |_, _| Passive).unwrap();
+        world.set_telemetry(Telemetry::new(TelemetryMode::Counters));
+        let counted = cohort_eval(&world, 2, &seeds, 30, |_, _| Passive).unwrap();
+        assert_eq!(counted, baseline, "counters must not change outcomes");
+        let snap = world.telemetry().snapshot();
+        assert_eq!(snap.counter("valency.cohort.worlds"), Some(9));
+        assert_eq!(
+            snap.counter("valency.cohort.retired_early"),
+            Some(9),
+            "every CountDown fork finishes before the horizon"
+        );
+        assert!(snap.counter("valency.cohort.rounds_saved").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn seed_grid_matches_per_unit_chain() {
+        let seeder = SimRng::new(0xABCD);
+        let per_unit: Vec<u64> = (0..4 * 7)
+            .map(|unit| {
+                seeder
+                    .derive((unit / 7) as u64)
+                    .derive((unit % 7) as u64)
+                    .next_u64()
+            })
+            .collect();
+        assert_eq!(derive_seed_grid(0xABCD, 4, 7), per_unit);
+    }
+
+    #[test]
+    fn empty_cohort_is_empty() {
+        let world = World::new(SimConfig::new(3).seed(1), |_| Forever).unwrap();
+        let outcomes = cohort_eval(&world, 4, &[], 10, |_, _| Passive).unwrap();
+        assert!(outcomes.is_empty());
+    }
+}
