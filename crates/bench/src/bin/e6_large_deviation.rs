@@ -5,110 +5,31 @@
 //! `Pr(x − E(x) ≥ t√n) ≥ e^{−4(t+1)²}/√(2π)`, and with `t = √(log n)/8`
 //! the deviation `√(n·log n)/8` has probability ≥ `√(log n/n)`.
 //!
-//! The harness compares the bound against the **exact** tail (log-space
-//! summation) and against a Monte-Carlo coin experiment on the simulator's
-//! RNG, across four decades of `n`.
+//! Thin wrapper over the `synran-lab` E6 campaign preset (see
+//! `campaigns/e6.campaign` for the declarative form), which compares the
+//! bound against the **exact** tail (log-space summation) and a
+//! Monte-Carlo coin experiment on the simulator's RNG.
+//!
+//! Telemetry defaults to `counters` so the committed
+//! `results/e6_large_deviation.telemetry.jsonl` carries the analysis
+//! counters; `--telemetry spans` (or `off`) picks the other modes.
 
-use synran_analysis::{corollary_4_5, fmt_f64, lemma_4_4_bound, Binomial, Table};
-use synran_bench::{banner, section, Args};
-use synran_sim::SimRng;
-
-fn monte_carlo_tail(n: usize, deviation: f64, trials: usize, rng: &mut SimRng) -> f64 {
-    let threshold = n as f64 / 2.0 + deviation;
-    let mut hits = 0usize;
-    for _ in 0..trials {
-        let mut ones = 0usize;
-        // Sum 64 coins at a time from each random word.
-        let mut remaining = n;
-        while remaining > 0 {
-            let take = remaining.min(64);
-            let word = rng.next_u64();
-            let masked = if take == 64 {
-                word
-            } else {
-                word & ((1u64 << take) - 1)
-            };
-            ones += masked.count_ones() as usize;
-            remaining -= take;
-        }
-        if ones as f64 >= threshold {
-            hits += 1;
-        }
-    }
-    hits as f64 / trials as f64
-}
+use synran_bench::Args;
+use synran_lab::presets::e6::{self, E6Params};
+use synran_lab::Engine;
+use synran_sim::{Telemetry, TelemetryMode};
 
 fn main() {
     let args = Args::from_env();
-    let trials = args.get_usize("trials", 20_000);
-    let seed = args.get_u64("seed", 6);
-
-    banner(
-        "E6 large-deviation bound (Lemma 4.4 / Corollary 4.5)",
-        "Pr(x − E ≥ t√n) ≥ e^{−4(t+1)²}/√(2π) for t < √n/8",
-    );
-
-    section("Lemma 4.4: exact tail vs bound");
-    let mut table = Table::new([
-        "n",
-        "t",
-        "deviation t√n",
-        "exact tail",
-        "bound",
-        "exact ≥ bound",
-    ]);
-    let mut violations = 0usize;
-    for n in [64usize, 256, 1024, 4096, 16384, 65536] {
-        let b = Binomial::fair(n);
-        let sqrt_n = (n as f64).sqrt();
-        for t in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
-            if t >= sqrt_n / 8.0 {
-                continue;
-            }
-            let exact = b.deviation_tail(t * sqrt_n);
-            let bound = lemma_4_4_bound(t);
-            let ok = exact >= bound;
-            if !ok {
-                violations += 1;
-            }
-            table.row([
-                n.to_string(),
-                fmt_f64(t, 2),
-                fmt_f64(t * sqrt_n, 1),
-                format!("{exact:.3e}"),
-                format!("{bound:.3e}"),
-                if ok { "yes" } else { "NO" }.to_string(),
-            ]);
-        }
-    }
-    print!("{table}");
-    println!("\nviolations: {violations} (expected 0)");
-
-    section("Corollary 4.5: deviation √(n·log n)/8 has probability ≥ √(log n/n)");
-    let mut cor_table = Table::new([
-        "n",
-        "deviation",
-        "exact tail",
-        "√(ln n/n)",
-        "Monte-Carlo",
-        "holds",
-    ]);
-    let mut rng = SimRng::new(seed);
-    for n in [64usize, 256, 1024, 4096] {
-        let (dev, bound) = corollary_4_5(n);
-        let exact = Binomial::fair(n).deviation_tail(dev);
-        let mc = monte_carlo_tail(n, dev, trials, &mut rng);
-        cor_table.row([
-            n.to_string(),
-            fmt_f64(dev, 1),
-            fmt_f64(exact, 4),
-            fmt_f64(bound, 4),
-            fmt_f64(mc, 4),
-            if exact >= bound { "yes" } else { "NO" }.to_string(),
-        ]);
-    }
-    print!("{cor_table}");
-    println!("\nreading: this tail is why the adversary must pay ~√(p·log p) kills per");
-    println!("block to stall SynRan (Lemma 4.6) — the coin overshoots the 6p/10 line");
-    println!("with probability ≥ √(log p/p) every round.");
+    let mode: TelemetryMode = args
+        .get("telemetry")
+        .unwrap_or("counters")
+        .parse()
+        .expect("--telemetry");
+    let params = E6Params {
+        trials: args.get_usize("trials", 20_000),
+        seed: args.get_u64("seed", 6),
+    };
+    let mut engine = Engine::new(args.get_usize("threads", 0), Telemetry::new(mode));
+    e6::run(&params, &mut engine, &mut std::io::stdout().lock()).expect("e6 failed");
 }

@@ -1,0 +1,241 @@
+//! The long-lived network worker: `synran campaign agent --listen ADDR`.
+//!
+//! An agent binds a TCP listener and serves supervisor connections one at
+//! a time: accept, run the token/schema handshake ([`handshake_accept`]),
+//! then hand the socket to the same [`serve`] loop the pipe workers use —
+//! `ready`, leases in, results out, heartbeats while a cell runs. When a
+//! supervisor disconnects (campaign done, or it retired this worker), the
+//! agent goes straight back to `accept`, so one agent serves any number
+//! of campaigns in sequence and a supervisor's backoff reconnect finds it
+//! again after a fault.
+//!
+//! Failure semantics deliberately mirror the pipe workers: a cell panic
+//! unwinds out of `serve` and kills the agent *process* — supervisors
+//! already treat a dead peer correctly, and a half-poisoned agent would
+//! be worse than a dead one. Restart it (systemd, a shell loop, or the
+//! e2e tests' explicit respawn) and the supervisor's reconnect rejoins
+//! it to the running campaign.
+
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::fleet::net::handshake_accept;
+use crate::fleet::worker::{parse_fault, serve};
+
+/// Configuration for [`agent_main`], parsed by the CLI.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` or `0.0.0.0:0` (ephemeral).
+    pub listen: String,
+    /// Shared secret supervisors must present; empty accepts empty.
+    pub token: String,
+    /// Capability report sent in `hello_ok` (0 = all cores). Recorded by
+    /// the supervisor, not enforced here — cells run with the process
+    /// default threading either way.
+    pub threads: usize,
+    /// If set, the bound address is written here once listening — how
+    /// scripts and tests discover an ephemeral port race-free.
+    pub port_file: Option<PathBuf>,
+    /// Exit after serving one connection (tests; production agents loop).
+    pub once: bool,
+}
+
+/// Runs the agent until killed (or after one connection with
+/// `once`). Returns `Err` only for startup failures — a bad bind or an
+/// unwritable port file; per-connection trouble is logged to stderr and
+/// the loop continues.
+pub fn agent_main(cfg: &AgentConfig) -> Result<(), String> {
+    let listener =
+        TcpListener::bind(&cfg.listen).map_err(|e| format!("listen {}: {e}", cfg.listen))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    if let Some(path) = &cfg.port_file {
+        // Write-then-rename so a polling reader never sees a half line.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{local}\n"))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| format!("port file {}: {e}", path.display()))?;
+    }
+    eprintln!("agent: listening on {local}");
+    let fault = std::env::var("SYNRAN_FLEET_FAULT")
+        .ok()
+        .as_deref()
+        .and_then(parse_fault);
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                eprintln!("agent: accept failed: {e}");
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        match handshake_accept(&stream, &cfg.token, cfg.threads) {
+            Ok(heartbeat_every) => {
+                eprintln!("agent: supervisor {peer} connected");
+                let reader = match stream.try_clone() {
+                    Ok(clone) => BufReader::new(clone),
+                    Err(e) => {
+                        eprintln!("agent: clone socket for {peer}: {e}");
+                        continue;
+                    }
+                };
+                serve(reader, stream, heartbeat_every.max(MIN_HEARTBEAT), fault);
+                eprintln!("agent: supervisor {peer} disconnected");
+            }
+            Err(e) => eprintln!("agent: rejected {peer}: {e}"),
+        }
+        if cfg.once {
+            return Ok(());
+        }
+    }
+}
+
+/// Floor on the heartbeat cadence a supervisor may request — a hostile
+/// `heartbeat_ms=1` must not turn the agent into a busy loop.
+const MIN_HEARTBEAT: Duration = Duration::from_millis(10);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Write};
+    use std::net::TcpStream;
+
+    use crate::fleet::proto::{FromWorker, Hello, HelloReply, ToWorker, FLEET_SCHEMA_VERSION};
+
+    fn start_agent(token: &str, once: bool) -> (std::thread::JoinHandle<()>, String) {
+        let dir = std::env::temp_dir().join(format!(
+            "synran-agent-test-{}-{}",
+            std::process::id(),
+            token.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("agent.port");
+        let cfg = AgentConfig {
+            listen: "127.0.0.1:0".to_string(),
+            token: token.to_string(),
+            threads: 1,
+            port_file: Some(port_file.clone()),
+            once,
+        };
+        let handle = std::thread::spawn(move || {
+            agent_main(&cfg).expect("agent starts");
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let text = text.trim().to_string();
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "no port file");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        (handle, addr)
+    }
+
+    #[test]
+    fn agent_serves_a_full_lease_cycle_over_tcp() {
+        let (handle, addr) = start_agent("tok", true);
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut lines = BufReader::new(stream).lines();
+        let hello = Hello {
+            schema: FLEET_SCHEMA_VERSION,
+            token: "tok".to_string(),
+            heartbeat_ms: 200,
+        };
+        writeln!(writer, "{}", hello.to_jsonl()).unwrap();
+        let reply = lines.next().unwrap().unwrap();
+        assert!(
+            matches!(HelloReply::from_jsonl(&reply), Some(HelloReply::Ok { schema, threads, .. })
+                if schema == FLEET_SCHEMA_VERSION && threads == 1),
+            "{reply}"
+        );
+        let ready = lines.next().unwrap().unwrap();
+        assert!(
+            matches!(
+                FromWorker::from_jsonl(&ready),
+                Some(FromWorker::Ready { .. })
+            ),
+            "{ready}"
+        );
+        let lease = crate::fleet::proto::Lease {
+            id: 1,
+            index: 0,
+            attempt: 0,
+            cell: crate::cell::Cell {
+                runs: 2,
+                seed: 3,
+                ..crate::cell::Cell::new("synran", "balancer", 8)
+            },
+        };
+        writeln!(writer, "{}", ToWorker::Lease(lease).to_jsonl()).unwrap();
+        let answer = loop {
+            let line = lines.next().unwrap().unwrap();
+            match FromWorker::from_jsonl(&line) {
+                Some(FromWorker::Heartbeat { .. }) => continue,
+                other => break other,
+            }
+        };
+        assert!(
+            matches!(
+                answer,
+                Some(FromWorker::Result {
+                    id: 1,
+                    index: 0,
+                    ..
+                })
+            ),
+            "{answer:?}"
+        );
+        writeln!(writer, "{}", ToWorker::Shutdown.to_jsonl()).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn agent_survives_a_rejected_connection_and_serves_the_next() {
+        let (handle, addr) = start_agent("right", false);
+        // First connection: wrong token, must be refused.
+        {
+            let stream = TcpStream::connect(&addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let hello = Hello {
+                schema: FLEET_SCHEMA_VERSION,
+                token: "wrong".to_string(),
+                heartbeat_ms: 100,
+            };
+            writeln!(writer, "{}", hello.to_jsonl()).unwrap();
+            let mut lines = BufReader::new(stream).lines();
+            let reply = lines.next().unwrap().unwrap();
+            assert!(
+                matches!(HelloReply::from_jsonl(&reply), Some(HelloReply::Err { .. })),
+                "{reply}"
+            );
+        }
+        // Second connection: right token, handshake completes.
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let hello = Hello {
+            schema: FLEET_SCHEMA_VERSION,
+            token: "right".to_string(),
+            heartbeat_ms: 100,
+        };
+        writeln!(writer, "{}", hello.to_jsonl()).unwrap();
+        let mut lines = BufReader::new(stream).lines();
+        let reply = lines.next().unwrap().unwrap();
+        assert!(
+            matches!(HelloReply::from_jsonl(&reply), Some(HelloReply::Ok { .. })),
+            "{reply}"
+        );
+        drop(writer);
+        drop(lines);
+        // The agent thread loops forever; detach it.
+        drop(handle);
+    }
+}

@@ -1,0 +1,261 @@
+//! Hardened line framing for fleet transports.
+//!
+//! The pipe transport read worker output with a plain buffered
+//! line-reader, which was fine when the only peer was a subprocess we
+//! spawned ourselves. A socket peer is a different trust story: a
+//! confused or hostile sender can stream an unbounded line, non-UTF-8
+//! bytes, or arbitrary garbage, and none of that may panic the
+//! supervisor or grow a buffer without limit. `FrameReader` mirrors the
+//! forgiving classification of `TelemetryStream`: every chunk of input
+//! becomes a [`Frame`] — a complete line, an oversized line whose
+//! payload was discarded unread past the cap, or a malformed (non-UTF-8)
+//! line — and the caller decides how many bad frames a peer is allowed
+//! before it is retired through the structured protocol-error path.
+
+use std::io::Read;
+
+/// Hard per-line byte cap. A legitimate protocol line is a cell result —
+/// well under a kilobyte — so a mebibyte is three orders of magnitude of
+/// headroom while still bounding a hostile sender to O(1) memory.
+pub(crate) const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// How many consecutive unusable frames (garbage, oversized, malformed)
+/// a peer may send before the supervisor retires it. Unknown-but-valid
+/// JSON lines are forward compatibility, not garbage, and reset nothing.
+pub(crate) const GARBAGE_FRAME_LIMIT: u32 = 8;
+
+/// One framed unit of peer input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Frame {
+    /// A complete UTF-8 line within the byte cap, newline stripped.
+    Line(String),
+    /// A line that exceeded the cap; `bytes` counts what was discarded.
+    Oversized { bytes: usize },
+    /// A complete line that was not valid UTF-8.
+    Malformed { bytes: usize },
+}
+
+/// Bounded, panic-free line reader over any byte stream.
+pub(crate) struct FrameReader<R> {
+    inner: R,
+    chunk: Box<[u8]>,
+    /// Consumed offset and fill level within `chunk`.
+    pos: usize,
+    filled: usize,
+    /// The current partial line, never longer than `cap`.
+    line: Vec<u8>,
+    /// When an oversized line trips the cap we stop buffering and count
+    /// discarded bytes until the next newline.
+    discarding: bool,
+    discarded: usize,
+    bytes_read: u64,
+    cap: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub(crate) fn new(inner: R) -> Self {
+        Self::with_cap(inner, MAX_FRAME_BYTES)
+    }
+
+    pub(crate) fn with_cap(inner: R, cap: usize) -> Self {
+        FrameReader {
+            inner,
+            chunk: vec![0u8; 8 * 1024].into_boxed_slice(),
+            pos: 0,
+            filled: 0,
+            line: Vec::new(),
+            discarding: false,
+            discarded: 0,
+            bytes_read: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Raw bytes consumed from the underlying stream so far.
+    #[cfg(test)]
+    pub(crate) fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Next frame, or `Ok(None)` at end of stream. A trailing partial
+    /// line (EOF without newline) is surfaced as a final frame; the
+    /// protocol parser already rejects truncated JSON, so a half-written
+    /// message classifies as unusable downstream rather than vanishing.
+    pub(crate) fn next_frame(&mut self) -> std::io::Result<Option<Frame>> {
+        loop {
+            while self.pos < self.filled {
+                let byte = self.chunk[self.pos];
+                self.pos += 1;
+                if byte == b'\n' {
+                    return Ok(Some(self.finish_line()));
+                }
+                if self.discarding {
+                    self.discarded += 1;
+                    continue;
+                }
+                self.line.push(byte);
+                if self.line.len() > self.cap {
+                    self.discarding = true;
+                    self.discarded = self.line.len();
+                    self.line.clear();
+                    self.line.shrink_to_fit();
+                }
+            }
+            self.pos = 0;
+            self.filled = 0;
+            match self.inner.read(&mut self.chunk) {
+                Ok(0) => {
+                    if self.discarding || !self.line.is_empty() {
+                        return Ok(Some(self.finish_line()));
+                    }
+                    return Ok(None);
+                }
+                Ok(n) => {
+                    self.filled = n;
+                    self.bytes_read += n as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn finish_line(&mut self) -> Frame {
+        if self.discarding {
+            let bytes = self.discarded;
+            self.discarding = false;
+            self.discarded = 0;
+            return Frame::Oversized { bytes };
+        }
+        let raw = std::mem::take(&mut self.line);
+        match String::from_utf8(raw) {
+            Ok(text) => Frame::Line(text),
+            Err(err) => Frame::Malformed {
+                bytes: err.into_bytes().len(),
+            },
+        }
+    }
+}
+
+/// Forgiving classification of a decoded line that failed to parse as a
+/// protocol message. A `{...}`-shaped line is an unknown-but-well-formed
+/// message from a newer peer — skipped for forward compatibility, like
+/// `TelemetryStream`'s unknown events. Anything else is garbage and
+/// counts toward [`GARBAGE_FRAME_LIMIT`].
+pub(crate) fn looks_like_json(line: &str) -> bool {
+    let trimmed = line.trim();
+    trimmed.starts_with('{') && trimmed.ends_with('}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(input: &[u8], cap: usize) -> Vec<Frame> {
+        let mut reader = FrameReader::with_cap(input, cap);
+        let mut out = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            out.push(frame);
+        }
+        out
+    }
+
+    #[test]
+    fn plain_lines_round_trip() {
+        let got = frames(b"{\"type\":\"ready\",\"pid\":1}\nsecond\n", MAX_FRAME_BYTES);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Line("{\"type\":\"ready\",\"pid\":1}".into()),
+                Frame::Line("second".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_final_line_is_surfaced_not_dropped() {
+        // A peer dying mid-append leaves a line without a newline; the
+        // frame must still come out so the parser can reject it.
+        let got = frames(
+            b"{\"type\":\"result\",\"id\":4\n{\"type\":\"hea",
+            MAX_FRAME_BYTES,
+        );
+        assert_eq!(
+            got,
+            vec![
+                Frame::Line("{\"type\":\"result\",\"id\":4".into()),
+                Frame::Line("{\"type\":\"hea".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_with_bounded_memory() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let got = frames(&input, 16);
+        assert_eq!(
+            got,
+            vec![Frame::Oversized { bytes: 100 }, Frame::Line("ok".into())]
+        );
+    }
+
+    #[test]
+    fn oversized_line_at_eof_without_newline_still_reports() {
+        let input = vec![b'y'; 64];
+        let got = frames(&input, 16);
+        assert_eq!(got, vec![Frame::Oversized { bytes: 64 }]);
+    }
+
+    #[test]
+    fn exactly_cap_sized_line_passes() {
+        let mut input = vec![b'z'; 16];
+        input.push(b'\n');
+        let got = frames(&input, 16);
+        assert_eq!(got, vec![Frame::Line("z".repeat(16))]);
+    }
+
+    #[test]
+    fn non_utf8_line_classifies_as_malformed() {
+        let got = frames(b"\xff\xfe\xfd\nfine\n", MAX_FRAME_BYTES);
+        assert_eq!(
+            got,
+            vec![Frame::Malformed { bytes: 3 }, Frame::Line("fine".into())]
+        );
+    }
+
+    #[test]
+    fn garbage_between_valid_lines_keeps_the_stream_alive() {
+        let got = frames(b"first\n\x00\x01binary\nlast\n", MAX_FRAME_BYTES);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], Frame::Line("first".into()));
+        assert_eq!(got[2], Frame::Line("last".into()));
+    }
+
+    #[test]
+    fn crosses_chunk_boundaries() {
+        // A line far longer than the internal 8 KiB chunk, under the cap.
+        let long = "a".repeat(40_000);
+        let input = format!("{long}\ntail\n");
+        let got = frames(input.as_bytes(), MAX_FRAME_BYTES);
+        assert_eq!(got, vec![Frame::Line(long), Frame::Line("tail".into())]);
+    }
+
+    #[test]
+    fn bytes_read_counts_raw_stream_bytes() {
+        let input = b"abc\ndef\n";
+        let mut reader = FrameReader::with_cap(&input[..], MAX_FRAME_BYTES);
+        while reader.next_frame().unwrap().is_some() {}
+        assert_eq!(reader.bytes_read(), input.len() as u64);
+    }
+
+    #[test]
+    fn json_shape_classification() {
+        assert!(looks_like_json("{\"type\":\"future_msg\",\"x\":1}"));
+        assert!(looks_like_json("  {\"k\":2}  "));
+        assert!(!looks_like_json("not json at all"));
+        assert!(!looks_like_json("{\"half\":"));
+        assert!(!looks_like_json(""));
+    }
+}

@@ -256,4 +256,176 @@ mod tests {
         assert_eq!(book.abandon(id, "late timeout sweep"), None);
         assert!(book.all_resolved());
     }
+
+    // Property-style suites for transport-induced reorderings: a TCP
+    // fleet adds duplicate deliveries after reconnects, late results for
+    // leases re-issued elsewhere, and arbitrary interleaving across
+    // workers. All fixed-seed (SimRng), pinning the stale-result discard.
+    mod transport_reorderings {
+        use super::*;
+        use synran_sim::SimRng;
+
+        #[test]
+        fn out_of_order_resolution_across_two_workers_is_all_fresh() {
+            // Worker A holds even indices, worker B odd; B's results all
+            // land before A's. Every delivery is fresh — order across
+            // workers never manufactures staleness.
+            let mut book = LeaseBook::new(6, 3);
+            let leases: Vec<(u64, usize, u32)> = std::iter::from_fn(|| book.issue()).collect();
+            let (b_half, a_half): (Vec<_>, Vec<_>) =
+                leases.iter().partition(|(_, index, _)| index % 2 == 1);
+            for (id, index, _) in b_half.iter().chain(a_half.iter().rev()) {
+                assert_eq!(book.complete(*id), Delivery::Fresh(*index));
+            }
+            assert!(book.all_resolved());
+            assert_eq!(book.stale(), 0);
+        }
+
+        #[test]
+        fn duplicate_results_after_a_reconnect_are_discarded() {
+            // An agent disconnects mid-cell, rejoins, and — having never
+            // heard it was superseded — replays its result for every
+            // lease it ever held. Only the live lease's delivery counts.
+            let mut book = LeaseBook::new(3, 4);
+            let mut replay_buffer = Vec::new();
+            for _ in 0..3 {
+                let (id, index, _) = book.issue().unwrap();
+                replay_buffer.push((id, index));
+            }
+            // Index 1's worker drops; the cell is re-issued to another.
+            let dropped = replay_buffer[1].0;
+            assert!(matches!(
+                book.abandon(dropped, "connection dropped"),
+                Some(Requeue::Retry {
+                    index: 1,
+                    attempt: 1
+                })
+            ));
+            let (reissued, index, attempt) = book.issue().unwrap();
+            assert_eq!((index, attempt), (1, 1));
+            assert_eq!(book.complete(reissued), Delivery::Fresh(1));
+            // The rejoined agent replays everything, twice.
+            let mut stale_seen = 0;
+            for _ in 0..2 {
+                for &(id, index) in &replay_buffer {
+                    match book.complete(id) {
+                        Delivery::Fresh(fresh) => assert_eq!(fresh, index),
+                        Delivery::Stale => stale_seen += 1,
+                    }
+                }
+            }
+            // First pass: 0 and 2 fresh, dropped id stale. Second pass:
+            // all three stale.
+            assert_eq!(stale_seen, 4);
+            assert_eq!(book.stale(), 4);
+            assert!(book.all_resolved());
+        }
+
+        /// Shuffle `items` in place with a fixed-seed SimRng
+        /// (Fisher–Yates on `next_u64`).
+        fn shuffle<T>(items: &mut [T], rng: &mut SimRng) {
+            for i in (1..items.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                items.swap(i, j);
+            }
+        }
+
+        #[test]
+        fn random_delivery_orders_resolve_every_index_exactly_once() {
+            for seed in 0..16u64 {
+                let mut rng = SimRng::new(0x1ea5_e000 + seed);
+                let total = 4 + (rng.next_u64() % 8) as usize;
+                let mut book = LeaseBook::new(total, 3);
+                let mut leases: Vec<(u64, usize, u32)> =
+                    std::iter::from_fn(|| book.issue()).collect();
+                shuffle(&mut leases, &mut rng);
+                // Interleave each fresh delivery with a duplicate of an
+                // already-delivered lease: the duplicate is always stale.
+                let mut delivered: Vec<(u64, usize)> = Vec::new();
+                for (id, index, _) in leases {
+                    assert_eq!(book.complete(id), Delivery::Fresh(index), "seed {seed}");
+                    delivered.push((id, index));
+                    let pick = delivered[(rng.next_u64() as usize) % delivered.len()].0;
+                    assert_eq!(book.complete(pick), Delivery::Stale, "seed {seed}");
+                }
+                assert!(book.all_resolved(), "seed {seed}");
+                assert_eq!(book.stale(), total as u64, "seed {seed}");
+            }
+        }
+
+        #[test]
+        fn random_crash_recover_schedules_keep_the_ledger_consistent() {
+            // A randomized two-worker schedule of issue / fresh-complete /
+            // abandon-and-replay / duplicate-complete. Model invariants:
+            // each index resolves or fails exactly once, stale count
+            // matches the model's discard count, and the book always
+            // drains to all_resolved.
+            for seed in 0..24u64 {
+                let mut rng = SimRng::new(0xdead_0000 + seed);
+                let total = 3 + (rng.next_u64() % 6) as usize;
+                let max_attempts = 2 + (rng.next_u64() % 3) as u32;
+                let mut book = LeaseBook::new(total, max_attempts);
+                let mut live: Vec<(u64, usize)> = Vec::new(); // outstanding
+                let mut dead_ids: Vec<u64> = Vec::new(); // superseded or resolved
+                let mut resolved = 0usize;
+                let mut failed = 0usize;
+                let mut stale_expected = 0u64;
+                for _ in 0..200 {
+                    match rng.next_u64() % 4 {
+                        0 => {
+                            if let Some((id, index, _)) = book.issue() {
+                                live.push((id, index));
+                            }
+                        }
+                        1 => {
+                            if live.is_empty() {
+                                continue;
+                            }
+                            let pick = (rng.next_u64() as usize) % live.len();
+                            let (id, index) = live.swap_remove(pick);
+                            assert_eq!(book.complete(id), Delivery::Fresh(index), "seed {seed}");
+                            resolved += 1;
+                            dead_ids.push(id);
+                        }
+                        2 => {
+                            if live.is_empty() {
+                                continue;
+                            }
+                            let pick = (rng.next_u64() as usize) % live.len();
+                            let (id, _) = live.swap_remove(pick);
+                            match book.abandon(id, "transport died") {
+                                Some(Requeue::Retry { .. }) => {}
+                                Some(Requeue::Exhausted { .. }) => failed += 1,
+                                None => panic!("live lease must abandon (seed {seed})"),
+                            }
+                            dead_ids.push(id);
+                        }
+                        _ => {
+                            // A rejoined worker replays a superseded id.
+                            if dead_ids.is_empty() {
+                                continue;
+                            }
+                            let id = dead_ids[(rng.next_u64() as usize) % dead_ids.len()];
+                            assert_eq!(book.complete(id), Delivery::Stale, "seed {seed}");
+                            stale_expected += 1;
+                        }
+                    }
+                    assert_eq!(book.unresolved(), total - resolved - failed, "seed {seed}");
+                    assert_eq!(book.stale(), stale_expected, "seed {seed}");
+                }
+                // Drain: complete everything still live or queued.
+                for (id, index) in live.drain(..) {
+                    assert_eq!(book.complete(id), Delivery::Fresh(index), "seed {seed}");
+                    resolved += 1;
+                }
+                while let Some((id, index, _)) = book.issue() {
+                    assert_eq!(book.complete(id), Delivery::Fresh(index), "seed {seed}");
+                    resolved += 1;
+                }
+                assert!(book.all_resolved(), "seed {seed}");
+                assert_eq!(resolved + failed, total, "seed {seed}");
+                assert_eq!(book.failed().len(), failed, "seed {seed}");
+            }
+        }
+    }
 }

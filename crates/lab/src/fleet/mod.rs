@@ -1,7 +1,8 @@
-//! Multi-process campaign execution: a supervisor that shards a cell
-//! list into leases and drives worker **subprocesses** over a JSONL
-//! stdin/stdout protocol, with heartbeats, per-cell timeouts, and
-//! crash-tolerant retry.
+//! Multi-worker campaign execution: a supervisor that shards a cell
+//! list into leases and drives workers over pluggable **transports** —
+//! subprocess stdin/stdout pipes or TCP connections to long-lived
+//! `campaign agent` processes on other machines — with heartbeats,
+//! per-cell timeouts, and crash-tolerant retry.
 //!
 //! # Parity contract
 //!
@@ -14,35 +15,55 @@
 //! append in cell order within each wave, and waves partition the pending
 //! list in order, so the overall order never depends on wave size or
 //! scheduling). Stdout parity follows for free: the preset renderers are
-//! pure functions of the results vector.
+//! pure functions of the results vector. The transport is invisible in
+//! this contract: pipes, sockets, and any mix produce the same bytes.
 //!
 //! # Lease / heartbeat / retry state machine
 //!
 //! Each pending cell becomes a [`Lease`](proto::Lease). A lease is
 //! *queued* → *outstanding* (sent to a worker) → *resolved* (result
-//! journaled) or *abandoned* (worker died, hung past the heartbeat
-//! timeout, or overran the per-cell timeout — the worker is killed and
-//! the lease requeued with `attempt + 1`). After `max_attempts` failed
-//! attempts the cell is recorded as a structured failure and the campaign
-//! keeps going; the run then errors *after* all other cells completed,
-//! naming the first failed cell by cell order. A result arriving for a
-//! lease that was already re-issued is discarded and counted in
-//! `fleet.stale_results`.
+//! journaled) or *abandoned* (worker died, disconnected, hung past the
+//! heartbeat timeout, or overran the per-cell timeout — the transport is
+//! closed and the lease requeued with `attempt + 1`). After
+//! `max_attempts` failed attempts the cell is recorded as a structured
+//! failure and the campaign keeps going; the run then errors *after* all
+//! other cells completed, naming the first failed cell by cell order. A
+//! result arriving for a lease that was already re-issued — e.g. from a
+//! stalled agent that rejoins after its slot reconnected — is discarded
+//! and counted in `fleet.stale_results`.
 //!
-//! Degradation is graceful end to end: `--procs 1` never spawns, a spawn
-//! failure before any lease falls back to the in-process engine, and if
-//! every worker slot dies permanently the supervisor finishes the
-//! remaining leases inline.
+//! # Network transport
 //!
-//! All `fleet.*` telemetry counters are observe-only: journals, results,
-//! and stdout are byte-identical with telemetry on or off.
+//! `--workers addr1,addr2[,local:N]` builds the slot list
+//! ([`parse_workers`]); each TCP slot connects to a `synran campaign
+//! agent` and runs a versioned, token-authenticated handshake before the
+//! first lease. Disconnects are exactly crashed workers: abandon,
+//! half-close, exponential-backoff *reconnect* to the same address
+//! (`fleet.net.reconnects`), and stale-result discard on rejoin. Socket
+//! input passes through a hardened frame reader (bounded line length,
+//! forgiving malformed-line classification, a structured protocol-error
+//! retirement after persistent garbage — see [`frame`]).
+//!
+//! Degradation is graceful end to end: a single local slot never
+//! spawns, a spawn failure before any worker came up falls back to the
+//! in-process engine, and if every worker slot dies permanently the
+//! supervisor finishes the remaining leases inline.
+//!
+//! All `fleet.*` (including `fleet.net.*`) telemetry counters are
+//! observe-only: journals, results, and stdout are byte-identical with
+//! telemetry on or off.
 
+mod agent;
+mod frame;
 mod lease;
+mod net;
 mod proto;
 mod state;
 mod supervisor;
 mod worker;
 
-pub use state::{fleet_sidecar_path, scan_fleet_sidecar, FleetStatus};
+pub use agent::{agent_main, AgentConfig};
+pub use net::{parse_workers, SlotSpec};
+pub use state::{fleet_sidecar_path, scan_fleet_sidecar, FleetStatus, FleetWorkerStatus};
 pub use supervisor::{Fleet, FleetConfig};
 pub use worker::worker_main;

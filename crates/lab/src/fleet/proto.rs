@@ -14,6 +14,110 @@ use crate::cell::{
     result_from_flat_json, Cell, CellResult,
 };
 
+/// Version of the fleet wire protocol, negotiated by the TCP handshake.
+/// Bump on any incompatible change to the lease/result line formats; an
+/// agent refuses supervisors speaking a different schema rather than
+/// guessing.
+pub(crate) const FLEET_SCHEMA_VERSION: u64 = 1;
+
+/// First line a supervisor sends on a fresh TCP connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Hello {
+    /// The supervisor's [`FLEET_SCHEMA_VERSION`].
+    pub schema: u64,
+    /// Shared secret; both sides default to empty (loopback testing).
+    pub token: String,
+    /// Heartbeat cadence the supervisor expects, in milliseconds.
+    pub heartbeat_ms: u64,
+}
+
+/// The agent's one-line answer to a [`Hello`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum HelloReply {
+    /// Handshake accepted; the `ready` line follows on the same stream.
+    Ok {
+        /// The agent's schema version (must equal the supervisor's).
+        schema: u64,
+        /// The agent's OS process id (for diagnostics).
+        pid: u32,
+        /// Capability report: worker threads the agent will use per cell
+        /// (0 = all cores). Recorded, not enforced.
+        threads: u64,
+    },
+    /// Handshake refused; the agent closes the connection after this.
+    Err {
+        /// Sanitised refusal reason (see [`sanitize`]).
+        error: String,
+    },
+}
+
+impl Hello {
+    /// Encodes as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"type\":\"hello\",\"schema\":{},\"token\":\"{}\",\"heartbeat_ms\":{}}}",
+            self.schema,
+            sanitize(&self.token),
+            self.heartbeat_ms,
+        )
+    }
+
+    /// Decodes a line; `None` for malformed, truncated, or wrong-type
+    /// lines.
+    pub fn from_jsonl(line: &str) -> Option<Hello> {
+        let line = line.trim();
+        if !line.ends_with('}') || json_str_field(line, "type")? != "hello" {
+            return None;
+        }
+        Some(Hello {
+            schema: json_u64_field(line, "schema")?,
+            token: json_str_field(line, "token")?.to_string(),
+            heartbeat_ms: json_u64_field(line, "heartbeat_ms")?,
+        })
+    }
+}
+
+impl HelloReply {
+    /// Encodes as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            HelloReply::Ok {
+                schema,
+                pid,
+                threads,
+            } => format!(
+                "{{\"type\":\"hello_ok\",\"schema\":{schema},\"pid\":{pid},\"threads\":{threads}}}"
+            ),
+            HelloReply::Err { error } => {
+                format!(
+                    "{{\"type\":\"hello_err\",\"error\":\"{}\"}}",
+                    sanitize(error)
+                )
+            }
+        }
+    }
+
+    /// Decodes a line; `None` for malformed, truncated, or wrong-type
+    /// lines.
+    pub fn from_jsonl(line: &str) -> Option<HelloReply> {
+        let line = line.trim();
+        if !line.ends_with('}') {
+            return None;
+        }
+        match json_str_field(line, "type")? {
+            "hello_ok" => Some(HelloReply::Ok {
+                schema: json_u64_field(line, "schema")?,
+                pid: u32::try_from(json_u64_field(line, "pid")?).ok()?,
+                threads: json_u64_field(line, "threads")?,
+            }),
+            "hello_err" => Some(HelloReply::Err {
+                error: json_str_field(line, "error")?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// One unit of leased work: the pending-order position `index` plus the
 /// fully-resolved cell, tagged with a unique lease id and the attempt
 /// number (0 on first issue).
@@ -268,6 +372,46 @@ mod tests {
         }
         .to_jsonl();
         assert_eq!(FromWorker::from_jsonl(&full[..full.len() - 2]), None);
+    }
+
+    #[test]
+    fn handshake_round_trips() {
+        let hello = Hello {
+            schema: FLEET_SCHEMA_VERSION,
+            token: "s3cret".to_string(),
+            heartbeat_ms: 200,
+        };
+        assert_eq!(Hello::from_jsonl(&hello.to_jsonl()), Some(hello.clone()));
+        let replies = [
+            HelloReply::Ok {
+                schema: FLEET_SCHEMA_VERSION,
+                pid: 4321,
+                threads: 2,
+            },
+            HelloReply::Err {
+                error: "bad token".to_string(),
+            },
+        ];
+        for reply in replies {
+            let line = reply.to_jsonl();
+            assert_eq!(HelloReply::from_jsonl(&line), Some(reply.clone()), "{line}");
+        }
+        // Hostile token text cannot break the line format.
+        let spiky = Hello {
+            schema: 1,
+            token: "a\"b\\c\nd".to_string(),
+            heartbeat_ms: 1,
+        };
+        let decoded = Hello::from_jsonl(&spiky.to_jsonl()).expect("decodes after sanitising");
+        assert_eq!(decoded.token, "a'b/c d");
+    }
+
+    #[test]
+    fn handshake_rejects_foreign_lines() {
+        for line in ["", "{\"type\":\"ready\",\"pid\":1}", "{\"type\":\"hello\""] {
+            assert_eq!(Hello::from_jsonl(line), None, "{line:?}");
+            assert_eq!(HelloReply::from_jsonl(line), None, "{line:?}");
+        }
     }
 
     #[test]

@@ -35,14 +35,40 @@ pub fn fleet_sidecar_path(journal: &Path) -> PathBuf {
 /// In-flight fleet state distilled from a sidecar.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetStatus {
-    /// Worker process count the supervisor started with.
+    /// Worker slot count the supervisor started with.
     pub procs: usize,
     /// Distinct pending cells leased but neither resolved nor failed.
     pub outstanding: usize,
-    /// Worker processes that died or were killed and replaced.
+    /// Workers that died or were killed and replaced.
     pub restarts: u64,
     /// Cells recorded as structured failures.
     pub failed: usize,
+    /// Per-slot transport identity, in slot order.
+    pub workers: Vec<FleetWorkerStatus>,
+}
+
+/// Transport identity of one worker slot, distilled from the sidecar's
+/// `worker` (connect) events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetWorkerStatus {
+    /// The slot's position in `--workers` order.
+    pub slot: usize,
+    /// `"pipe"` or `"tcp"`.
+    pub transport: String,
+    /// Latest peer identity: `pid=N` for pipes, the socket address for
+    /// TCP.
+    pub peer: String,
+    /// Successful connects; anything past the first is a rejoin after a
+    /// crash, disconnect, or retirement.
+    pub connects: u64,
+}
+
+impl FleetWorkerStatus {
+    /// Connects beyond the first — the slot's rejoin count.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
 }
 
 /// Appends fleet lifecycle events to the sidecar, one flushed line each,
@@ -98,6 +124,16 @@ impl SidecarWriter {
         self.event("{\"type\":\"fleet\",\"event\":\"restart\"}")
     }
 
+    /// A worker came up on `slot` over the given transport. Repeated
+    /// events for one slot are reconnects.
+    pub fn worker(&mut self, slot: usize, transport: &str, peer: &str) -> Result<(), LabError> {
+        self.event(&format!(
+            "{{\"type\":\"fleet\",\"event\":\"worker\",\"slot\":{slot},\"transport\":\"{}\",\"peer\":\"{}\"}}",
+            crate::fleet::proto::sanitize(transport),
+            crate::fleet::proto::sanitize(peer),
+        ))
+    }
+
     /// Removes the sidecar — the clean-completion path.
     pub fn remove(self) -> Result<(), LabError> {
         drop(self.out);
@@ -124,6 +160,9 @@ pub fn scan_fleet_sidecar(path: &Path) -> Result<Option<FleetStatus>, LabError> 
     let mut leased: BTreeSet<u64> = BTreeSet::new();
     let mut done: BTreeSet<u64> = BTreeSet::new();
     let mut failed: BTreeSet<u64> = BTreeSet::new();
+    // slot → (latest transport, latest peer, connect count).
+    let mut workers: std::collections::BTreeMap<u64, (String, String, u64)> =
+        std::collections::BTreeMap::new();
     for line in BufReader::new(file).lines() {
         let line = line?;
         let line = line.trim();
@@ -155,6 +194,21 @@ pub fn scan_fleet_sidecar(path: &Path) -> Result<Option<FleetStatus>, LabError> 
                 }
             }
             "restart" => restarts += 1,
+            "worker" => {
+                let (Some(slot), Some(transport), Some(peer)) = (
+                    json_u64_field(line, "slot"),
+                    crate::cell::json_str_field(line, "transport"),
+                    crate::cell::json_str_field(line, "peer"),
+                ) else {
+                    continue;
+                };
+                let entry = workers
+                    .entry(slot)
+                    .or_insert_with(|| (String::new(), String::new(), 0));
+                entry.0 = transport.to_string();
+                entry.1 = peer.to_string();
+                entry.2 += 1;
+            }
             _ => {}
         }
     }
@@ -167,6 +221,15 @@ pub fn scan_fleet_sidecar(path: &Path) -> Result<Option<FleetStatus>, LabError> 
         outstanding,
         restarts,
         failed: failed.len(),
+        workers: workers
+            .into_iter()
+            .map(|(slot, (transport, peer, connects))| FleetWorkerStatus {
+                slot: usize::try_from(slot).unwrap_or(usize::MAX),
+                transport,
+                peer,
+                connects,
+            })
+            .collect(),
     }))
 }
 
@@ -197,10 +260,13 @@ mod tests {
     fn writer_and_scanner_round_trip_in_flight_state() {
         let journal = tmpdir("roundtrip").join("demo.journal.jsonl");
         let mut w = SidecarWriter::create(&journal, 4).unwrap();
+        w.worker(0, "pipe", "pid=41").unwrap();
+        w.worker(1, "tcp", "127.0.0.1:7070").unwrap();
         w.lease(0, 0).unwrap();
         w.lease(1, 0).unwrap();
         w.done(0).unwrap();
         w.restart().unwrap();
+        w.worker(1, "tcp", "127.0.0.1:7071").unwrap(); // rejoin
         w.lease(1, 1).unwrap(); // re-issue after the restart
         w.lease(2, 0).unwrap();
         w.failed(2).unwrap();
@@ -215,8 +281,24 @@ mod tests {
                 outstanding: 1, // index 1: leased twice, never resolved
                 restarts: 1,
                 failed: 1,
+                workers: vec![
+                    FleetWorkerStatus {
+                        slot: 0,
+                        transport: "pipe".to_string(),
+                        peer: "pid=41".to_string(),
+                        connects: 1,
+                    },
+                    FleetWorkerStatus {
+                        slot: 1,
+                        transport: "tcp".to_string(),
+                        peer: "127.0.0.1:7071".to_string(), // latest wins
+                        connects: 2,
+                    },
+                ],
             }
         );
+        assert_eq!(status.workers[0].reconnects(), 0);
+        assert_eq!(status.workers[1].reconnects(), 1);
 
         w.remove().unwrap();
         assert_eq!(

@@ -1,12 +1,19 @@
 //! The supervisor: owns the journal and cache through the wrapped
-//! [`Engine`], shards the pending cell list into leases, drives worker
-//! subprocesses, and flushes results in pending order so journal bytes
-//! are identical to the in-process engine's (see the module docs in
-//! [`crate::fleet`] for the full parity argument).
+//! [`Engine`], shards the pending cell list into leases, drives workers
+//! over pluggable [`Transport`]s (local subprocess pipes and TCP agents,
+//! freely mixed per slot), and flushes results in pending order so
+//! journal bytes are identical to the in-process engine's (see the
+//! module docs in [`crate::fleet`] for the full parity argument).
+//!
+//! A transport death — worker crash, dropped connection, heartbeat gap —
+//! is always the same event: abandon the lease back to the [`LeaseBook`]
+//! (front-requeue), retire the worker, and schedule its *slot* for
+//! respawn with exponential backoff. For a pipe slot that respawn is a
+//! fresh subprocess; for a TCP slot it is a reconnect to the same agent
+//! address, which may serve a late result from its superseded lease
+//! first — discarded as stale by the book, never journalled twice.
 
 use std::collections::{BTreeMap, HashMap};
-use std::io::{BufRead, BufReader, Write};
-use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -14,13 +21,18 @@ use synran_sim::Telemetry;
 
 use crate::cell::{Cell, CellResult};
 use crate::engine::{pending_order, CellRunner, Engine};
+use crate::fleet::frame::{looks_like_json, Frame, FrameReader, GARBAGE_FRAME_LIMIT};
 use crate::fleet::lease::{Delivery, LeaseBook, Requeue};
+use crate::fleet::net::{PipeTransport, SlotSpec, TcpTransport, Transport};
 use crate::fleet::proto::{FromWorker, Lease, ToWorker};
 use crate::fleet::state::SidecarWriter;
 use crate::registry::{run_cell, validate_cell};
 use crate::LabError;
 
-/// Spawn failures tolerated per worker slot before the slot is given up.
+/// Spawn failures tolerated per *local* worker slot before the slot is
+/// given up. Remote slots use [`FleetConfig::connect_attempts`] instead —
+/// an agent being restarted deserves more patience than a binary that
+/// cannot exec.
 const SPAWN_GIVE_UP: u32 = 3;
 
 /// Tuning knobs for a [`Fleet`] run.
@@ -43,6 +55,17 @@ pub struct FleetConfig {
     pub max_attempts: u32,
     /// Base respawn backoff, doubled per consecutive spawn failure.
     pub backoff: Duration,
+    /// One entry per worker slot; kept in sync with `procs`. All-local
+    /// by default; `--workers` mixes in TCP agent addresses.
+    pub slots: Vec<SlotSpec>,
+    /// Shared secret presented in the TCP handshake (empty by default;
+    /// agents started without a token accept it).
+    pub token: String,
+    /// Per-attempt bound on TCP connect + handshake.
+    pub connect_timeout: Duration,
+    /// Consecutive failed (re)connects tolerated per TCP slot before
+    /// that slot is given up.
+    pub connect_attempts: u32,
 }
 
 impl FleetConfig {
@@ -58,13 +81,41 @@ impl FleetConfig {
             heartbeat_interval: Duration::from_millis(200),
             max_attempts: 3,
             backoff: Duration::from_millis(100),
+            slots: vec![SlotSpec::Local; procs],
+            token: String::new(),
+            connect_timeout: Duration::from_secs(5),
+            connect_attempts: 6,
         }
+    }
+
+    /// Replaces the slot layout from a `--workers` list (see
+    /// [`crate::fleet::parse_workers`]); `procs` follows the slot count.
+    pub fn with_workers(mut self, spec: &str) -> Result<FleetConfig, String> {
+        self.slots = crate::fleet::net::parse_workers(spec)?;
+        self.procs = self.slots.len();
+        Ok(self)
+    }
+
+    /// Whether any slot crosses a socket.
+    #[must_use]
+    pub fn has_remote(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, SlotSpec::Tcp(_)))
+    }
+
+    /// Whether this config calls for fleet execution at all: more than
+    /// one slot, or any remote slot (a single *remote* worker is still a
+    /// fleet — the work must cross the wire).
+    #[must_use]
+    pub fn engages(&self) -> bool {
+        self.slots.len() > 1 || self.has_remote()
     }
 
     /// [`new`](FleetConfig::new), then millisecond/count overrides from
     /// `SYNRAN_FLEET_TIMEOUT_MS`, `SYNRAN_FLEET_HEARTBEAT_TIMEOUT_MS`,
-    /// `SYNRAN_FLEET_HEARTBEAT_MS`, `SYNRAN_FLEET_MAX_ATTEMPTS`, and
-    /// `SYNRAN_FLEET_BACKOFF_MS` — the test hooks.
+    /// `SYNRAN_FLEET_HEARTBEAT_MS`, `SYNRAN_FLEET_MAX_ATTEMPTS`,
+    /// `SYNRAN_FLEET_BACKOFF_MS`, `SYNRAN_FLEET_CONNECT_TIMEOUT_MS`,
+    /// `SYNRAN_FLEET_CONNECT_ATTEMPTS`, and `SYNRAN_FLEET_TOKEN` — the
+    /// test hooks.
     #[must_use]
     pub fn from_env(procs: usize) -> FleetConfig {
         fn ms(var: &str) -> Option<Duration> {
@@ -92,6 +143,18 @@ impl FleetConfig {
         }
         if let Some(v) = ms("SYNRAN_FLEET_BACKOFF_MS") {
             cfg.backoff = v;
+        }
+        if let Some(v) = ms("SYNRAN_FLEET_CONNECT_TIMEOUT_MS") {
+            cfg.connect_timeout = v;
+        }
+        if let Some(v) = std::env::var("SYNRAN_FLEET_CONNECT_ATTEMPTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.connect_attempts = v;
+        }
+        if let Ok(v) = std::env::var("SYNRAN_FLEET_TOKEN") {
+            cfg.token = v;
         }
         cfg
     }
@@ -122,7 +185,7 @@ impl Fleet {
 
 impl CellRunner for Fleet {
     fn run_cells(&mut self, cells: &[Cell]) -> Result<Vec<CellResult>, LabError> {
-        if self.config.procs <= 1 {
+        if !self.config.engages() {
             return self.engine.run_cells(cells);
         }
         match run_fleet(&mut self.engine, &self.config, cells) {
@@ -200,6 +263,7 @@ fn run_fleet(
             book: LeaseBook::new(pending.len(), cfg.max_attempts),
             workers: HashMap::new(),
             next_wid: 0,
+            slot_connects: vec![0; cfg.slots.len()],
             respawn: Vec::new(),
             arrived: HashMap::new(),
             cursor: 0,
@@ -213,13 +277,13 @@ fn run_fleet(
             start,
         };
         let outcome = ctx.drive();
-        // Kill and reap every worker no matter how the drive ended — a
-        // hung worker never exits on its own.
+        // Tear down every transport no matter how the drive ended: a
+        // best-effort shutdown line, then close — which kills and reaps
+        // a subprocess, and half-closes a socket so the agent drains
+        // back to its accept loop.
         for (_, mut worker) in ctx.workers.drain() {
-            let _ = writeln!(worker.stdin, "{}", ToWorker::Shutdown.to_jsonl());
-            let _ = worker.stdin.flush();
-            let _ = worker.child.kill();
-            let _ = worker.child.wait();
+            let _ = worker.transport.send(&ToWorker::Shutdown.to_jsonl());
+            worker.transport.close();
         }
         run_executed = ctx.run_executed;
         let failures = ctx.book.failed().clone();
@@ -272,10 +336,64 @@ fn worker_argv(cfg: &FleetConfig) -> Result<Vec<String>, String> {
     ])
 }
 
-/// One live worker subprocess.
+/// The reader-thread body: frames a worker's byte stream through the
+/// hardened [`FrameReader`] (bounded lines, forgiving classification) and
+/// forwards parsed messages. Unknown-but-well-formed JSON lines are
+/// skipped for forward compatibility; anything else counts toward
+/// [`GARBAGE_FRAME_LIMIT`], after which the worker is reported through
+/// the structured protocol-error path instead of ever panicking or
+/// buffering without bound.
+fn read_worker(
+    reader: Box<dyn std::io::Read + Send>,
+    wid: usize,
+    tx: &mpsc::Sender<(usize, Event)>,
+    telemetry: &Telemetry,
+) {
+    let mut frames = FrameReader::new(reader);
+    let mut consecutive_garbage = 0u32;
+    // `while let` ends on `Ok(None)` and `Err(_)` alike — EOF and a dead
+    // socket are the same thing here.
+    while let Ok(Some(frame)) = frames.next_frame() {
+        match frame {
+            Frame::Line(line) => {
+                telemetry.incr("fleet.net.bytes_read", line.len() as u64 + 1);
+                if let Some(msg) = FromWorker::from_jsonl(&line) {
+                    consecutive_garbage = 0;
+                    if tx.send((wid, Event::Msg(msg))).is_err() {
+                        return;
+                    }
+                } else if looks_like_json(&line) {
+                    // A message from a newer peer: skip, stay friendly.
+                    telemetry.incr("fleet.net.unknown_lines", 1);
+                } else {
+                    telemetry.incr("fleet.net.malformed_lines", 1);
+                    consecutive_garbage += 1;
+                }
+            }
+            Frame::Oversized { bytes } => {
+                telemetry.incr("fleet.net.bytes_read", bytes as u64 + 1);
+                telemetry.incr("fleet.net.oversized_lines", 1);
+                consecutive_garbage += 1;
+            }
+            Frame::Malformed { bytes } => {
+                telemetry.incr("fleet.net.bytes_read", bytes as u64 + 1);
+                telemetry.incr("fleet.net.malformed_lines", 1);
+                consecutive_garbage += 1;
+            }
+        }
+        if consecutive_garbage >= GARBAGE_FRAME_LIMIT {
+            let _ = tx.send((wid, Event::Garbage));
+            return;
+        }
+    }
+    let _ = tx.send((wid, Event::Eof));
+}
+
+/// One live worker, however it is reached.
 struct WorkerHandle {
-    child: Child,
-    stdin: ChildStdin,
+    transport: Box<dyn Transport>,
+    /// Which [`FleetConfig::slots`] entry this worker fills.
+    slot: usize,
     /// `(lease id, issue time)` of the cell it is executing, if any.
     lease: Option<(u64, Instant)>,
     /// Last time any message arrived from it.
@@ -285,12 +403,17 @@ struct WorkerHandle {
 /// What a reader thread forwards about its worker.
 enum Event {
     Msg(FromWorker),
+    /// The peer crossed [`GARBAGE_FRAME_LIMIT`] consecutive unusable
+    /// frames: the structured protocol-error path. The worker is
+    /// retired like a crash, never trusted to finish its lease.
+    Garbage,
     Eof,
 }
 
-/// A worker slot awaiting respawn: due time plus consecutive spawn
-/// failures so far.
+/// A worker slot awaiting respawn: which slot, when it is due, and the
+/// consecutive spawn failures so far.
 struct RespawnSlot {
+    slot: usize,
     due: Instant,
     fails: u32,
 }
@@ -308,6 +431,8 @@ struct Ctx<'a> {
     book: LeaseBook,
     workers: HashMap<usize, WorkerHandle>,
     next_wid: usize,
+    /// Successful connects per slot; 1 = first connect, more = rejoins.
+    slot_connects: Vec<u64>,
     respawn: Vec<RespawnSlot>,
     /// Fresh results buffered until the flush cursor reaches them.
     arrived: HashMap<usize, CellResult>,
@@ -328,25 +453,45 @@ impl Ctx<'_> {
     /// The supervisor loop: spawn, lease, listen, sweep, flush — until
     /// every pending cell is resolved or failed.
     fn drive(&mut self) -> Result<(), FleetError> {
-        let target = self.cfg.procs.min(self.pending.len());
+        // The sidecar opens before the first spawn so per-worker connect
+        // events land in it from the start; if no worker ever comes up it
+        // is removed again below and the caller falls back to the engine.
+        if let Some(journal) = self.engine.journal_path() {
+            self.sidecar = Some(SidecarWriter::create(journal, self.cfg.slots.len())?);
+        }
+        let target = self.cfg.slots.len().min(self.pending.len());
         let mut last_spawn_err = String::new();
-        for _ in 0..target {
-            if let Err(e) = self.spawn_worker() {
-                last_spawn_err = e;
+        for slot in 0..target {
+            match self.spawn_worker(slot) {
+                Ok(wid) => self.note_worker(wid)?,
+                Err(e) => {
+                    // A dead local binary stays dead — drop the slot, as
+                    // before. An unreachable agent may just be starting
+                    // (or restarting): give it the backoff schedule.
+                    if matches!(self.cfg.slots[slot], SlotSpec::Tcp(_)) {
+                        eprintln!("fleet: worker slot {slot}: {e}");
+                        self.respawn.push(RespawnSlot {
+                            slot,
+                            due: Instant::now() + self.cfg.backoff,
+                            fails: 1,
+                        });
+                    }
+                    last_spawn_err = e;
+                }
             }
         }
-        if self.workers.is_empty() {
+        if self.workers.is_empty() && self.respawn.is_empty() {
+            if let Some(sidecar) = self.sidecar.take() {
+                sidecar.remove()?;
+            }
             return Err(FleetError::Spawn(last_spawn_err));
-        }
-        if let Some(journal) = self.engine.journal_path() {
-            self.sidecar = Some(SidecarWriter::create(journal, self.cfg.procs)?);
         }
 
         loop {
             if self.book.all_resolved() {
                 return Ok(());
             }
-            self.process_respawns();
+            self.process_respawns()?;
             if self.workers.is_empty() && self.respawn.is_empty() {
                 // Every worker slot died permanently: graceful
                 // degradation — finish the remaining leases inline.
@@ -359,49 +504,79 @@ impl Ctx<'_> {
         }
     }
 
-    /// Spawns one worker subprocess plus its reader thread.
-    fn spawn_worker(&mut self) -> Result<(), String> {
+    /// Brings up one worker on the given slot — a subprocess for a local
+    /// slot, a connect + handshake for a TCP slot — plus its hardened
+    /// reader thread. Returns the new worker id.
+    fn spawn_worker(&mut self, slot: usize) -> Result<usize, String> {
+        let mut transport: Box<dyn Transport> = match &self.cfg.slots[slot] {
+            SlotSpec::Local => Box::new(PipeTransport::spawn(
+                &self.argv,
+                self.cfg.heartbeat_interval,
+            )?),
+            SlotSpec::Tcp(addr) => Box::new(TcpTransport::connect(
+                addr,
+                &self.cfg.token,
+                self.cfg.heartbeat_interval,
+                self.cfg.connect_timeout,
+            )?),
+        };
         let wid = self.next_wid;
         self.next_wid += 1;
-        let mut child = Command::new(&self.argv[0])
-            .args(&self.argv[1..])
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .env(
-                "SYNRAN_FLEET_HEARTBEAT_MS",
-                self.cfg.heartbeat_interval.as_millis().to_string(),
-            )
-            .spawn()
-            .map_err(|e| format!("spawn {:?} failed: {e}", self.argv[0]))?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+        let reader = transport
+            .take_reader()
+            .expect("fresh transport has a reader");
         let tx = self.tx.clone();
-        std::thread::spawn(move || {
-            for line in BufReader::new(stdout).lines() {
-                let Ok(line) = line else { break };
-                if let Some(msg) = FromWorker::from_jsonl(&line) {
-                    if tx.send((wid, Event::Msg(msg))).is_err() {
-                        return;
-                    }
-                }
-            }
-            let _ = tx.send((wid, Event::Eof));
-        });
+        let telemetry = self.telemetry.clone();
+        std::thread::spawn(move || read_worker(reader, wid, &tx, &telemetry));
+        self.telemetry.incr(
+            if self.slot_connects[slot] == 0 {
+                "fleet.net.connects"
+            } else {
+                "fleet.net.reconnects"
+            },
+            1,
+        );
+        self.slot_connects[slot] += 1;
         self.workers.insert(
             wid,
             WorkerHandle {
-                child,
-                stdin,
+                transport,
+                slot,
                 lease: None,
                 last_msg: Instant::now(),
             },
         );
+        Ok(wid)
+    }
+
+    /// Records a fresh worker's transport identity in the sidecar (how
+    /// `campaign status` and `synran report` attribute restarts to a
+    /// pipe vs a TCP peer).
+    fn note_worker(&mut self, wid: usize) -> Result<(), FleetError> {
+        let Some(worker) = self.workers.get(&wid) else {
+            return Ok(());
+        };
+        if let Some(sidecar) = &mut self.sidecar {
+            sidecar.worker(
+                worker.slot,
+                worker.transport.kind(),
+                &worker.transport.peer(),
+            )?;
+        }
         Ok(())
+    }
+
+    /// Consecutive failures tolerated when bringing this slot up.
+    fn give_up_after(&self, slot: usize) -> u32 {
+        match self.cfg.slots[slot] {
+            SlotSpec::Local => SPAWN_GIVE_UP,
+            SlotSpec::Tcp(_) => self.cfg.connect_attempts.max(1),
+        }
     }
 
     /// Brings due respawn slots back up, dropping slots that are no
     /// longer needed or that failed to spawn too many times in a row.
-    fn process_respawns(&mut self) {
+    fn process_respawns(&mut self) -> Result<(), FleetError> {
         let now = Instant::now();
         let due: Vec<RespawnSlot> = {
             let (due, later) = std::mem::take(&mut self.respawn)
@@ -410,18 +585,19 @@ impl Ctx<'_> {
             self.respawn = later;
             due
         };
-        for slot in due {
-            if self.workers.len() >= self.cfg.procs.min(self.book.unresolved()) {
+        for pending_slot in due {
+            if self.workers.len() >= self.cfg.slots.len().min(self.book.unresolved()) {
                 continue; // Shrink the fleet as the tail drains.
             }
-            match self.spawn_worker() {
-                Ok(()) => {}
+            match self.spawn_worker(pending_slot.slot) {
+                Ok(wid) => self.note_worker(wid)?,
                 Err(msg) => {
-                    let fails = slot.fails + 1;
-                    if fails >= SPAWN_GIVE_UP {
-                        eprintln!("fleet: giving up worker slot: {msg}");
+                    let fails = pending_slot.fails + 1;
+                    if fails >= self.give_up_after(pending_slot.slot) {
+                        eprintln!("fleet: giving up worker slot {}: {msg}", pending_slot.slot);
                     } else {
                         self.respawn.push(RespawnSlot {
+                            slot: pending_slot.slot,
                             due: now + self.cfg.backoff * 2u32.saturating_pow(fails),
                             fails,
                         });
@@ -429,6 +605,7 @@ impl Ctx<'_> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Hands queued leases to idle workers.
@@ -462,20 +639,22 @@ impl Ctx<'_> {
                 attempt,
                 cell: self.cells[self.pending[index]].clone(),
             };
+            let line = ToWorker::Lease(lease).to_jsonl();
             let worker = self.workers.get_mut(&wid).expect("checked above");
-            let sent = writeln!(worker.stdin, "{}", ToWorker::Lease(lease).to_jsonl())
-                .and_then(|()| worker.stdin.flush());
-            match sent {
+            match worker.transport.send(&line) {
                 Ok(()) => {
+                    self.telemetry
+                        .incr("fleet.net.bytes_written", line.len() as u64 + 1);
                     let now = Instant::now();
                     worker.lease = Some((id, now));
                     worker.last_msg = now;
                 }
-                Err(_) => dead.push((wid, id)), // EPIPE: the worker is gone.
+                // EPIPE / reset: the worker is gone.
+                Err(_) => dead.push((wid, id)),
             }
         }
         for (wid, id) in dead {
-            self.abandon_lease(id, "worker pipe closed")?;
+            self.abandon_lease(id, "worker transport closed")?;
             self.retire_worker(wid)?;
         }
         Ok(())
@@ -546,6 +725,16 @@ impl Ctx<'_> {
                     },
                 }
             }
+            Event::Garbage => {
+                self.telemetry.incr("fleet.net.protocol_errors", 1);
+                let Some(lease) = self.workers.get(&wid).map(|w| w.lease) else {
+                    return Ok(()); // Already retired.
+                };
+                if let Some((id, _)) = lease {
+                    self.abandon_lease(id, "worker stream degenerated into garbage")?;
+                }
+                self.retire_worker(wid)?;
+            }
             Event::Eof => {
                 let Some(lease) = self.workers.get(&wid).map(|w| w.lease) else {
                     return Ok(()); // Already retired by a deadline sweep.
@@ -563,20 +752,24 @@ impl Ctx<'_> {
     /// heartbeats went silent, and re-leases their cells.
     fn sweep_deadlines(&mut self) -> Result<(), FleetError> {
         let now = Instant::now();
-        let mut expired: Vec<(usize, u64, &'static str, bool)> = Vec::new();
+        let mut expired: Vec<(usize, u64, &'static str, bool, bool)> = Vec::new();
         for (&wid, worker) in &self.workers {
             let Some((id, issued)) = worker.lease else {
                 continue; // Idle workers do not heartbeat.
             };
+            let remote = worker.transport.kind() == "tcp";
             if now.duration_since(issued) >= self.cfg.cell_timeout {
-                expired.push((wid, id, "cell timeout exceeded", false));
+                expired.push((wid, id, "cell timeout exceeded", false, remote));
             } else if now.duration_since(worker.last_msg) >= self.cfg.heartbeat_timeout {
-                expired.push((wid, id, "heartbeat gap", true));
+                expired.push((wid, id, "heartbeat gap", true, remote));
             }
         }
-        for (wid, id, reason, gap) in expired {
+        for (wid, id, reason, gap, remote) in expired {
             if gap {
                 self.telemetry.incr("fleet.heartbeat.gaps", 1);
+                if remote {
+                    self.telemetry.incr("fleet.net.heartbeat_gaps", 1);
+                }
             }
             self.abandon_lease(id, reason)?;
             self.retire_worker(wid)?;
@@ -598,19 +791,20 @@ impl Ctx<'_> {
         Ok(())
     }
 
-    /// Kills, reaps, and removes a worker, scheduling its slot for
-    /// respawn.
+    /// Closes a worker's transport (kill + reap for a subprocess; write
+    /// half-close for a socket, letting stale results drain) and
+    /// schedules its slot for respawn/reconnect.
     fn retire_worker(&mut self, wid: usize) -> Result<(), FleetError> {
         let Some(mut worker) = self.workers.remove(&wid) else {
             return Ok(());
         };
-        let _ = worker.child.kill();
-        let _ = worker.child.wait();
+        worker.transport.close();
         self.telemetry.incr("fleet.worker.restarts", 1);
         if let Some(sidecar) = &mut self.sidecar {
             sidecar.restart()?;
         }
         self.respawn.push(RespawnSlot {
+            slot: worker.slot,
             due: Instant::now() + self.cfg.backoff,
             fails: 0,
         });

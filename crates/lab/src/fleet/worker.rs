@@ -5,10 +5,12 @@
 //! Workers run cells with [`Telemetry::off`] — per-cell simulator
 //! telemetry is not forwarded across the process boundary (observe-only
 //! by contract, so nothing the parity tests see can notice). Fault
-//! injection for the retry tests is wired through
-//! `SYNRAN_FLEET_FAULT=panic:cell=K|hang:cell=K`: the fault fires on the
-//! *first* attempt of pending index `K`, so the supervisor's re-lease of
-//! the same cell succeeds deterministically.
+//! injection for the retry tests is wired through `SYNRAN_FLEET_FAULT=
+//! panic:cell=K|hang:cell=K|drop_conn[:cell=K]|stall:cell=K[,ms=N]`: a
+//! fault fires on the *first* attempt of pending index `K`, so the
+//! supervisor's re-lease of the same cell succeeds deterministically.
+//! This loop serves pipes and sockets alike — `synran campaign agent`
+//! runs the same `serve` over an accepted TCP connection.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,15 +30,39 @@ pub(crate) enum Fault {
     /// Hang forever — while still heartbeating — on first attempt of
     /// this pending index, exercising the per-cell timeout kill.
     Hang(usize),
+    /// Drop the connection mid-cell on first attempt of this pending
+    /// index: `serve` returns without executing or replying, which for a
+    /// pipe worker is process death and for a TCP agent is a disconnect
+    /// back to its accept loop.
+    DropConn(usize),
+    /// Go silent — no heartbeats — for this many milliseconds on first
+    /// attempt of the pending index, *then* execute and send the result.
+    /// With the supervisor's heartbeat timeout below the stall, the
+    /// worker is retired mid-stall and its late result arrives on a
+    /// superseded lease: the deterministic stale-result discard path.
+    Stall(usize, u64),
 }
 
-/// Parses `panic:cell=K` / `hang:cell=K`; `None` for anything else.
+/// Parses `panic:cell=K` / `hang:cell=K` / `drop_conn[:cell=K]` /
+/// `stall:cell=K[,ms=N]`; `None` for anything else.
 pub(crate) fn parse_fault(spec: &str) -> Option<Fault> {
+    if spec == "drop_conn" {
+        return Some(Fault::DropConn(0));
+    }
     let (kind, rest) = spec.split_once(':')?;
+    if kind == "stall" {
+        let (cell, ms) = match rest.split_once(',') {
+            Some((cell, ms)) => (cell, ms.strip_prefix("ms=")?.parse().ok()?),
+            None => (rest, 1500),
+        };
+        let index = cell.strip_prefix("cell=")?.parse().ok()?;
+        return Some(Fault::Stall(index, ms));
+    }
     let index = rest.strip_prefix("cell=")?.parse().ok()?;
     match kind {
         "panic" => Some(Fault::Panic(index)),
         "hang" => Some(Fault::Hang(index)),
+        "drop_conn" => Some(Fault::DropConn(index)),
         _ => None,
     }
 }
@@ -70,6 +96,17 @@ pub(crate) fn serve(
         let Ok(line) = line else { return };
         match ToWorker::from_jsonl(&line) {
             Some(ToWorker::Lease(lease)) => {
+                if matches!(fault, Some(Fault::DropConn(k)) if k == lease.index && lease.attempt == 0)
+                {
+                    return; // Drop the connection mid-cell, no reply.
+                }
+                if let Some(Fault::Stall(k, ms)) = fault {
+                    if k == lease.index && lease.attempt == 0 {
+                        // Silent: past the supervisor's heartbeat
+                        // timeout, then the result below goes out stale.
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                }
                 let reply = execute(&lease, heartbeat_every, fault, &send);
                 if !send(&reply) {
                     return;
@@ -209,12 +246,78 @@ mod tests {
     }
 
     #[test]
-    fn parse_fault_accepts_both_kinds_and_rejects_noise() {
+    fn parse_fault_accepts_all_kinds_and_rejects_noise() {
         assert_eq!(parse_fault("panic:cell=3"), Some(Fault::Panic(3)));
         assert_eq!(parse_fault("hang:cell=0"), Some(Fault::Hang(0)));
-        for bad in ["", "panic", "panic:cell=", "explode:cell=1", "panic:idx=1"] {
+        assert_eq!(parse_fault("drop_conn"), Some(Fault::DropConn(0)));
+        assert_eq!(parse_fault("drop_conn:cell=2"), Some(Fault::DropConn(2)));
+        assert_eq!(parse_fault("stall:cell=1"), Some(Fault::Stall(1, 1500)));
+        assert_eq!(parse_fault("stall:cell=1,ms=40"), Some(Fault::Stall(1, 40)));
+        for bad in [
+            "",
+            "panic",
+            "panic:cell=",
+            "explode:cell=1",
+            "panic:idx=1",
+            "stall:cell=1,ms=",
+            "stall:ms=40",
+        ] {
             assert_eq!(parse_fault(bad), None, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn drop_conn_fault_ends_serve_without_a_reply_then_retry_runs_clean() {
+        // Attempt 0 of the target cell: serve returns right after Ready,
+        // leaving the lease unanswered — the transport-death shape.
+        let input = format!(
+            "{}\n{}\n",
+            ToWorker::Lease(lease(0, 0)).to_jsonl(),
+            ToWorker::Lease(lease(1, 0)).to_jsonl(),
+        );
+        let buf = SharedBuf::default();
+        serve(
+            Cursor::new(input),
+            buf.clone(),
+            Duration::from_secs(3600),
+            Some(Fault::DropConn(0)),
+        );
+        let msgs = messages(&buf);
+        assert_eq!(msgs.len(), 1, "only Ready before the drop: {msgs:?}");
+        assert!(matches!(msgs[0], FromWorker::Ready { .. }));
+
+        // The re-issued lease (attempt 1) on a fresh connection runs.
+        let input = format!("{}\n", ToWorker::Lease(lease(0, 1)).to_jsonl());
+        let buf = SharedBuf::default();
+        serve(
+            Cursor::new(input),
+            buf.clone(),
+            Duration::from_secs(3600),
+            Some(Fault::DropConn(0)),
+        );
+        assert!(matches!(messages(&buf)[1], FromWorker::Result { .. }));
+    }
+
+    #[test]
+    fn stall_fault_goes_silent_then_still_sends_the_result() {
+        let input = format!("{}\n", ToWorker::Lease(lease(0, 0)).to_jsonl());
+        let buf = SharedBuf::default();
+        let start = std::time::Instant::now();
+        serve(
+            Cursor::new(input),
+            buf.clone(),
+            Duration::from_secs(3600),
+            Some(Fault::Stall(0, 60)),
+        );
+        assert!(
+            start.elapsed() >= Duration::from_millis(60),
+            "stall must actually wait"
+        );
+        let msgs = messages(&buf);
+        assert!(
+            matches!(msgs[1], FromWorker::Result { .. }),
+            "the late result still goes out: {msgs:?}"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod spec;
 pub use artifact::{results_telemetry_path, write_telemetry_jsonl};
 pub use cell::{fnv1a64, Cell, CellResult, CELL_SCHEMA_VERSION};
 pub use engine::{CellRunner, Engine};
-pub use fleet::{fleet_sidecar_path, scan_fleet_sidecar, Fleet, FleetConfig, FleetStatus};
+pub use fleet::{
+    agent_main, fleet_sidecar_path, parse_workers, scan_fleet_sidecar, AgentConfig, Fleet,
+    FleetConfig, FleetStatus, FleetWorkerStatus, SlotSpec,
+};
 pub use journal::{load_cache, scan_journal, CellCache, Journal, JournalHeader, JournalScan};
 pub use progress::{Heartbeat, MemoryProgress, ProgressSink, StderrProgress};
 pub use registry::{run_cell, validate_cell};

@@ -1,7 +1,7 @@
 //! Campaign renderers: the generic grid table plus the experiment presets.
 //!
 //! A spec's `experiment` key picks the renderer: `grid` (the default)
-//! prints one row per cell; `e3`, `e4`, and `e7` reproduce the
+//! prints one row per cell; `e3`, `e4`, `e6`, and `e7` reproduce the
 //! corresponding experiment binaries' output **byte-for-byte** — those
 //! binaries are thin wrappers over these presets, so the campaign path
 //! and the binary path share one code path by construction.
@@ -23,6 +23,7 @@ use crate::LabError;
 
 pub mod e3;
 pub mod e4;
+pub mod e6;
 pub mod e7;
 
 /// Writes an experiment banner with its DESIGN.md id and the claim under
@@ -59,9 +60,10 @@ pub fn campaign_cells(spec: &CampaignSpec) -> Result<Vec<Cell>, LabError> {
         "grid" => spec.expand_grid(),
         "e3" => Ok(e3::E3Params::from_spec(spec)?.cells()),
         "e4" => Ok(e4::E4Params::from_spec(spec)?.cells()),
+        "e6" => Ok(e6::E6Params::from_spec(spec)?.cells()),
         "e7" => Ok(e7::E7Params::from_spec(spec)?.cells()),
         other => Err(LabError::Spec(format!(
-            "unknown experiment {other:?} (expected grid, e3, e4, or e7)"
+            "unknown experiment {other:?} (expected grid, e3, e4, e6, or e7)"
         ))),
     }
 }
@@ -83,9 +85,10 @@ pub fn run_campaign(
         "grid" => run_grid(spec, runner, out),
         "e3" => e3::run(&e3::E3Params::from_spec(spec)?, runner, out),
         "e4" => e4::run(&e4::E4Params::from_spec(spec)?, runner, out),
+        "e6" => e6::run(&e6::E6Params::from_spec(spec)?, runner, out),
         "e7" => e7::run(&e7::E7Params::from_spec(spec)?, runner, out),
         other => Err(LabError::Spec(format!(
-            "unknown experiment {other:?} (expected grid, e3, e4, or e7)"
+            "unknown experiment {other:?} (expected grid, e3, e4, e6, or e7)"
         ))),
     }
 }

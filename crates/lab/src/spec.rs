@@ -43,6 +43,7 @@ const KNOWN_KEYS: &[&str] = &[
     "max_rounds",
     "cap",
     "samples",
+    "trials",
     "horizon",
     "rate",
     "telemetry",

@@ -198,4 +198,46 @@ grep -q "0 pending" <<< "$status_out" \
     || { echo "campaign status shows pending cells after fleet resume"; exit 1; }
 echo "fleet smoke OK: --procs 2 byte-identical (incl. injected panic), kill -9 resume converges"
 
+echo "== tier1: fleet TCP smoke test =="
+# The network transport must be invisible: a campaign served by a
+# loopback `campaign agent` (mixed with one local pipe slot) must be
+# byte-identical to the in-process engine, and an agent that severs its
+# connection mid-cell must be reconnected and converge to the same
+# output. Reuses the fleet smoke's spec and serial baseline.
+SYNRAN_FLEET_TOKEN=tier1-secret "$synran_bin" campaign agent \
+    --listen 127.0.0.1:0 --port-file "$fleet_dir/agent.port" 2>/dev/null &
+agent_pid=$!
+SYNRAN_FLEET_TOKEN=tier1-secret SYNRAN_FLEET_FAULT=drop_conn "$synran_bin" campaign agent \
+    --listen 127.0.0.1:0 --port-file "$fleet_dir/agent2.port" 2>/dev/null &
+drop_agent_pid=$!
+trap 'kill "$agent_pid" "$drop_agent_pid" 2>/dev/null || true; rm -f "$telemetry_out" "$plane_out"; rm -rf "$pool_dir" "$cohort_dir" "$campaign_dir" "$fleet_dir"' EXIT
+for _ in $(seq 1 100); do
+    [ -s "$fleet_dir/agent.port" ] && [ -s "$fleet_dir/agent2.port" ] && break
+    sleep 0.1
+done
+[ -s "$fleet_dir/agent.port" ] && [ -s "$fleet_dir/agent2.port" ] \
+    || { echo "campaign agent never wrote its port file"; exit 1; }
+agent_addr="$(cat "$fleet_dir/agent.port")"
+drop_agent_addr="$(cat "$fleet_dir/agent2.port")"
+(cd "$fleet_dir" && "$synran_bin" campaign run fsmoke.campaign \
+    --workers "$agent_addr,local:1" --token tier1-secret \
+    --results-dir tcp > tcp.txt 2>/dev/null)
+diff "$fleet_dir/serial.txt" "$fleet_dir/tcp.txt" \
+    || { echo "TCP fleet stdout diverged from the engine"; exit 1; }
+cmp "$fleet_dir/serial/fsmoke.journal.jsonl" "$fleet_dir/tcp/fsmoke.journal.jsonl" \
+    || { echo "TCP fleet journal diverged from the engine"; exit 1; }
+[ ! -e "$fleet_dir/tcp/fsmoke.fleet.jsonl" ] \
+    || { echo "TCP fleet sidecar survived a clean run"; exit 1; }
+# Dropped connection mid-cell: the faulted agent severs its socket on the
+# first lease of cell 0 (attempt 0 only); the supervisor's backoff
+# reconnect must find the same agent and retry to identical output.
+(cd "$fleet_dir" && SYNRAN_FLEET_BACKOFF_MS=50 "$synran_bin" campaign run fsmoke.campaign \
+    --workers "$drop_agent_addr" --token tier1-secret \
+    --results-dir tcpdrop > tcpdrop.txt 2>/dev/null)
+diff "$fleet_dir/serial.txt" "$fleet_dir/tcpdrop.txt" \
+    || { echo "TCP drop_conn re-run output diverged"; exit 1; }
+cmp "$fleet_dir/serial/fsmoke.journal.jsonl" "$fleet_dir/tcpdrop/fsmoke.journal.jsonl" \
+    || { echo "TCP drop_conn re-run journal diverged"; exit 1; }
+echo "fleet TCP smoke OK: loopback agent byte-identical (mixed remote+local), drop_conn reconnect converges"
+
 echo "== tier1: OK =="

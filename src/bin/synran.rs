@@ -21,9 +21,9 @@ use synran::core::{
     LeaderConsensus, SynRan,
 };
 use synran::lab::{
-    fleet_sidecar_path, load_cache, presets, scan_fleet_sidecar, scan_journal, CampaignSpec,
-    CellCache, CellRunner, Engine, Fleet, FleetConfig, Journal, Report, ReportFormat,
-    StderrProgress,
+    agent_main, fleet_sidecar_path, load_cache, presets, scan_fleet_sidecar, scan_journal,
+    AgentConfig, CampaignSpec, CellCache, CellRunner, Engine, Fleet, FleetConfig, Journal, Report,
+    ReportFormat, StderrProgress,
 };
 use synran::sim::{
     Adversary, Bit, JsonlSink, Passive, Process, SimConfig, SimRng, Telemetry, TelemetryEvent,
@@ -43,6 +43,9 @@ USAGE:
   synran campaign status <spec>  show percent-complete and journal health,
                  no execution
   synran campaign list           list the specs under campaigns/
+  synran campaign agent --listen <addr>  serve campaign cells to remote
+                 supervisors over TCP (long-lived; pair with
+                 `campaign run --workers host:port,...`)
   synran report [OPTIONS] <file>...  render telemetry/journal JSONL artifacts
                  as deterministic tables, JSON, or folded stacks
   synran list               list protocols, adversaries, and experiments
@@ -55,6 +58,13 @@ CAMPAIGN OPTIONS:
                        heartbeats and crash-tolerant retry; journal and
                        stdout are byte-identical for every value
                        (default 1 = in-process engine)
+  --workers <list>     comma-separated worker slots (campaign run only):
+                       TCP agent addresses and local pipe slots, e.g.
+                       10.0.0.2:7070,local:2. Overrides --procs; remote
+                       disconnects retry like worker crashes; journal and
+                       stdout stay byte-identical to the engine
+  --token <secret>     shared handshake secret for TCP workers
+                       (default $SYNRAN_FLEET_TOKEN, else empty)
   --results-dir <dir>  journal directory                     (default results)
   --fresh              truncate the journal first (campaign run only)
   --import <path>      merge another campaign's journal as a read-only
@@ -62,6 +72,16 @@ CAMPAIGN OPTIONS:
   --progress <int>     heartbeat to stderr every N completed cells
                        (observe-only; results identical with it on or off)
   --dir <dir>          directory scanned by campaign list    (default campaigns)
+
+AGENT OPTIONS:
+  --listen <addr>      bind address, e.g. 127.0.0.1:7070 (port 0 picks an
+                       ephemeral port)                      (required)
+  --token <secret>     secret supervisors must present
+                       (default $SYNRAN_FLEET_TOKEN, else empty)
+  --threads <int>      capability advertised in the handshake (0 = all cores)
+  --port-file <path>   atomically write the bound address to <path> —
+                       ephemeral-port discovery for scripts
+  --once               exit after serving one supervisor connection
 
 REPORT OPTIONS:
   --format table | json | folded   rendering                 (default table)
@@ -437,6 +457,7 @@ fn campaign_cmd(
         Some(sub @ ("run" | "resume")) => campaign_run(spec_path, values, flags, sub == "run"),
         Some("status") => campaign_status(spec_path, values),
         Some("list") => campaign_list(values),
+        Some("agent") => campaign_agent(values, flags),
         // Hidden: the fleet worker half of `campaign run --procs N`.
         // Supervisors spawn it; humans never type it.
         Some("worker") => {
@@ -444,9 +465,9 @@ fn campaign_cmd(
             Ok(())
         }
         Some(other) => Err(format!(
-            "unknown campaign command {other:?} (run, resume, status, list)"
+            "unknown campaign command {other:?} (run, resume, status, list, agent)"
         )),
-        None => Err("campaign expects a command: run, resume, status, or list".into()),
+        None => Err("campaign expects a command: run, resume, status, list, or agent".into()),
     }
 }
 
@@ -514,12 +535,20 @@ fn campaign_run(
             spec.name()
         );
     }
-    // `--procs 1` (the default) is the in-process engine verbatim; more
-    // than one wraps it in the fleet supervisor. Either way the journal
-    // and stdout are byte-identical — the fleet's parity contract.
+    // `--procs 1` (the default) is the in-process engine verbatim;
+    // more than one local slot — or any `--workers` remote — wraps it in
+    // the fleet supervisor. Either way the journal and stdout are
+    // byte-identical — the fleet's parity contract.
+    let mut fleet_cfg = FleetConfig::from_env(procs);
+    if let Some(workers) = values.get("workers") {
+        fleet_cfg = fleet_cfg.with_workers(workers)?;
+    }
+    if let Some(token) = values.get("token") {
+        fleet_cfg.token = token.clone();
+    }
     let mut fleet_holder;
-    let runner: &mut dyn CellRunner = if procs > 1 {
-        fleet_holder = Fleet::new(engine, FleetConfig::from_env(procs));
+    let runner: &mut dyn CellRunner = if fleet_cfg.engages() {
+        fleet_holder = Fleet::new(engine, fleet_cfg);
         &mut fleet_holder
     } else {
         &mut engine
@@ -534,6 +563,31 @@ fn campaign_run(
         journal_path.display()
     );
     Ok(())
+}
+
+/// `synran campaign agent` — a long-lived TCP worker serving cells to
+/// remote supervisors (`campaign run --workers host:port,...`).
+fn campaign_agent(values: &HashMap<String, String>, flags: &[String]) -> Result<(), String> {
+    let listen = values
+        .get("listen")
+        .cloned()
+        .ok_or("campaign agent expects --listen ADDR (e.g. --listen 127.0.0.1:7070)")?;
+    let token = values
+        .get("token")
+        .cloned()
+        .or_else(|| std::env::var("SYNRAN_FLEET_TOKEN").ok())
+        .unwrap_or_default();
+    let threads = values.get("threads").map_or(Ok(0), |v| {
+        v.parse()
+            .map_err(|_| format!("--threads: not an integer: {v}"))
+    })?;
+    agent_main(&AgentConfig {
+        listen,
+        token,
+        threads,
+        port_file: values.get("port-file").map(std::path::PathBuf::from),
+        once: flags.iter().any(|f| f == "once"),
+    })
 }
 
 fn campaign_status(
@@ -591,6 +645,16 @@ fn campaign_status(
             "fleet      : {} leases outstanding, {} procs, {} worker restarts, {} cells failed",
             fleet.outstanding, fleet.procs, fleet.restarts, fleet.failed
         );
+        for w in &fleet.workers {
+            println!(
+                "  slot {:<4} : {} {} ({} connects, {} reconnects)",
+                w.slot,
+                w.transport,
+                w.peer,
+                w.connects,
+                w.reconnects()
+            );
+        }
     }
     Ok(())
 }

@@ -1,13 +1,18 @@
-//! End-to-end contract of `synran campaign run --procs N`: the fleet
-//! supervisor must be observationally identical to the in-process engine
-//! — byte-identical journal and stdout for every process count, under an
-//! injected worker panic, under a hung worker killed by the per-cell
-//! timeout, and across a truncation-simulated crash resume. A cell that
-//! fails permanently must leave a structured failure, a kept sidecar,
-//! and a `campaign status` fleet line — without sinking the campaign.
+//! End-to-end contract of `synran campaign run --procs N` and its
+//! network form `--workers addr,...`: the fleet supervisor must be
+//! observationally identical to the in-process engine — byte-identical
+//! journal and stdout for every process count and transport mix, under
+//! an injected worker panic, under a hung worker killed by the per-cell
+//! timeout, across a truncation-simulated crash resume, and (over TCP)
+//! under a dropped connection mid-cell, a stalled agent whose late
+//! result arrives after its lease was re-issued, and an agent killed and
+//! restarted on the same port. A cell that fails permanently must leave
+//! a structured failure, a kept sidecar, and a `campaign status` fleet
+//! line — without sinking the campaign.
 
 use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("synran-fleet-{tag}-{}", std::process::id()));
@@ -216,4 +221,308 @@ fn permanent_failure_keeps_the_sidecar_and_status_reports_it() {
         .filter(|l| l.contains("\"type\":\"cell\""))
         .count();
     assert_eq!(cells, 5, "5 of 6 cells journalled, the hung one failed");
+}
+
+// ─── TCP transport ───────────────────────────────────────────────────────
+//
+// The same contract over the network: `campaign agent` processes on
+// loopback, supervisors pointed at them with `--workers`. Fault env vars
+// go on the *agent* process only — local pipe workers inherit the
+// supervisor's environment, so setting `SYNRAN_FLEET_FAULT` on the
+// campaign would fault the wrong worker.
+
+const TOKEN: &str = "fleet-parity-secret";
+
+/// A `synran campaign agent` child on loopback, killed on drop.
+struct Agent {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Agent {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_agent(port_file: &Path, listen: &str, env: &[(&str, &str)]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_synran"));
+    cmd.arg("campaign")
+        .arg("agent")
+        .arg("--listen")
+        .arg(listen)
+        .arg("--token")
+        .arg(TOKEN)
+        .arg("--port-file")
+        .arg(port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn agent")
+}
+
+/// Starts an agent and waits for its port file — the race-free way to
+/// learn an ephemeral port. A bind lost to a transient race (rebinding a
+/// just-freed fixed port) is retried until the deadline.
+fn start_agent(dir: &Path, tag: &str, listen: &str, env: &[(&str, &str)]) -> Agent {
+    let port_file = dir.join(format!("{tag}.port"));
+    let _ = std::fs::remove_file(&port_file);
+    let mut child = spawn_agent(&port_file, listen, env);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            assert!(
+                Instant::now() < deadline,
+                "agent kept dying before binding: {status}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+            child = spawn_agent(&port_file, listen, env);
+        }
+        assert!(Instant::now() < deadline, "agent never wrote its port file");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    Agent { child, addr }
+}
+
+/// Like [`campaign`] but non-blocking: returns the `Child` so a test can
+/// interleave agent lifecycle events with a running supervisor.
+fn campaign_spawn(
+    sub: &str,
+    spec: &Path,
+    results: &Path,
+    extra: &[&str],
+    env: &[(&str, &str)],
+) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_synran"));
+    cmd.arg("campaign")
+        .arg(sub)
+        .arg(spec)
+        .arg("--results-dir")
+        .arg(results)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn synran")
+}
+
+#[test]
+fn tcp_remote_workers_are_byte_identical_to_the_engine() {
+    let dir = tmpdir("tcp");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success(), "{serial:?}");
+
+    for remotes in [1usize, 2] {
+        for threads in ["1", "2"] {
+            let agents: Vec<Agent> = (0..remotes)
+                .map(|i| {
+                    start_agent(
+                        &dir,
+                        &format!("r{remotes}t{threads}a{i}"),
+                        "127.0.0.1:0",
+                        &[],
+                    )
+                })
+                .collect();
+            let workers: Vec<String> = agents.iter().map(|a| a.addr.clone()).collect();
+            let results = dir.join(format!("tcp-r{remotes}-t{threads}"));
+            let fleet = campaign(
+                "run",
+                &spec,
+                &results,
+                &[
+                    "--workers",
+                    &workers.join(","),
+                    "--token",
+                    TOKEN,
+                    "--threads",
+                    threads,
+                ],
+                &[],
+            );
+            assert!(
+                fleet.status.success(),
+                "remotes={remotes} threads={threads}: {fleet:?}"
+            );
+            assert_eq!(
+                fleet.stdout, serial.stdout,
+                "remotes={remotes} threads={threads}: stdout diverged"
+            );
+            assert_eq!(
+                journal(&results),
+                journal(&serial_results),
+                "remotes={remotes} threads={threads}: journal diverged"
+            );
+            assert!(
+                !sidecar(&results).exists(),
+                "remotes={remotes} threads={threads}: sidecar left after a clean run"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_connection_mid_cell_reconnects_and_retries_cleanly() {
+    let dir = tmpdir("dropconn");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success());
+
+    // The agent severs its socket mid-cell on the first lease of cell 1;
+    // the fault fires on attempt 0 only, so the supervisor's backoff
+    // reconnect finds the same (still-alive) agent and the retried lease
+    // runs clean.
+    let agent = start_agent(
+        &dir,
+        "drop",
+        "127.0.0.1:0",
+        &[("SYNRAN_FLEET_FAULT", "drop_conn:cell=1")],
+    );
+    let results = dir.join("fleet");
+    let fleet = campaign(
+        "run",
+        &spec,
+        &results,
+        &["--workers", &agent.addr, "--token", TOKEN],
+        &[("SYNRAN_FLEET_BACKOFF_MS", "50")],
+    );
+    assert!(fleet.status.success(), "{fleet:?}");
+    assert_eq!(fleet.stdout, serial.stdout, "stdout diverged after drop");
+    assert_eq!(journal(&results), journal(&serial_results));
+    assert!(!sidecar(&results).exists());
+}
+
+#[test]
+fn remote_panic_exhausts_reconnects_and_finishes_inline() {
+    let dir = tmpdir("tcppanic");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success());
+
+    // A cell panic kills the agent *process*; with nothing listening,
+    // reconnects are refused until the slot is given up and the
+    // supervisor degrades to inline execution — still byte-identical.
+    let agent = start_agent(
+        &dir,
+        "panic",
+        "127.0.0.1:0",
+        &[("SYNRAN_FLEET_FAULT", "panic:cell=1")],
+    );
+    let results = dir.join("fleet");
+    let fleet = campaign(
+        "run",
+        &spec,
+        &results,
+        &["--workers", &agent.addr, "--token", TOKEN],
+        &[
+            ("SYNRAN_FLEET_BACKOFF_MS", "50"),
+            ("SYNRAN_FLEET_CONNECT_ATTEMPTS", "2"),
+            ("SYNRAN_FLEET_CONNECT_TIMEOUT_MS", "500"),
+        ],
+    );
+    assert!(fleet.status.success(), "{fleet:?}");
+    assert_eq!(fleet.stdout, serial.stdout, "stdout diverged after panic");
+    assert_eq!(journal(&results), journal(&serial_results));
+    assert!(!sidecar(&results).exists());
+}
+
+#[test]
+fn stalled_agent_rejoins_and_its_late_result_is_discarded_as_stale() {
+    let dir = tmpdir("stall");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success());
+
+    // The agent sleeps 1.5 s before executing cell 0 — silently, no
+    // heartbeats — so the supervisor abandons the lease on a heartbeat
+    // gap and half-closes the socket's write side. The agent eventually
+    // wakes, executes, and sends the result anyway: it must drain into a
+    // stale discard (the lease was re-issued), after which the agent
+    // reads EOF, loops back to accept, and serves the reconnect that
+    // re-runs the cell for real.
+    let agent = start_agent(
+        &dir,
+        "stall",
+        "127.0.0.1:0",
+        &[("SYNRAN_FLEET_FAULT", "stall:cell=0,ms=1500")],
+    );
+    let results = dir.join("fleet");
+    let fleet = campaign(
+        "run",
+        &spec,
+        &results,
+        &["--workers", &agent.addr, "--token", TOKEN],
+        &[
+            ("SYNRAN_FLEET_HEARTBEAT_MS", "100"),
+            ("SYNRAN_FLEET_HEARTBEAT_TIMEOUT_MS", "400"),
+            ("SYNRAN_FLEET_BACKOFF_MS", "50"),
+            ("SYNRAN_FLEET_CONNECT_TIMEOUT_MS", "500"),
+            ("SYNRAN_FLEET_CONNECT_ATTEMPTS", "20"),
+        ],
+    );
+    assert!(fleet.status.success(), "{fleet:?}");
+    assert_eq!(fleet.stdout, serial.stdout, "stdout diverged after stall");
+    assert_eq!(journal(&results), journal(&serial_results));
+    assert!(!sidecar(&results).exists());
+}
+
+#[test]
+fn killed_agent_restarted_on_the_same_port_rejoins_the_campaign() {
+    let dir = tmpdir("restart");
+    let spec = write_spec(&dir);
+    let serial_results = dir.join("serial");
+    let serial = campaign("run", &spec, &serial_results, &[], &[]);
+    assert!(serial.status.success());
+
+    // Agent #1 dies on the very first cell. The campaign is the lone
+    // remote's only hope, so completion *proves* the supervisor's backoff
+    // reconnect found agent #2 — started on the exact address agent #1
+    // vacated — and replayed the lost lease there.
+    let mut agent1 = start_agent(
+        &dir,
+        "gen1",
+        "127.0.0.1:0",
+        &[("SYNRAN_FLEET_FAULT", "panic:cell=0")],
+    );
+    let addr = agent1.addr.clone();
+    let run = campaign_spawn(
+        "run",
+        &spec,
+        &dir.join("fleet"),
+        &["--workers", &addr, "--token", TOKEN],
+        &[
+            ("SYNRAN_FLEET_BACKOFF_MS", "100"),
+            ("SYNRAN_FLEET_CONNECT_TIMEOUT_MS", "500"),
+            ("SYNRAN_FLEET_CONNECT_ATTEMPTS", "10"),
+        ],
+    );
+    agent1.child.wait().expect("agent1 exits on the panic");
+    let _agent2 = start_agent(&dir, "gen2", &addr, &[]);
+
+    let out = run.wait_with_output().expect("campaign finishes");
+    assert!(
+        out.status.success(),
+        "campaign failed: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, serial.stdout, "stdout diverged after restart");
+    assert_eq!(journal(&dir.join("fleet")), journal(&serial_results));
+    assert!(!sidecar(&dir.join("fleet")).exists());
 }
